@@ -1,0 +1,54 @@
+// config.hpp — tuning knobs of the cache-trie.
+//
+// Defaults follow the paper; every knob exists so the ablation benches and
+// the property tests can move it.
+#pragma once
+
+#include <cstdint>
+
+namespace cachetrie {
+
+struct Config {
+  /// Master switch for the auxiliary cache (§3.4). Off reproduces the
+  /// paper's "w/o cache" variant used throughout the evaluation.
+  bool use_cache = true;
+
+  /// remove() compresses ANodes that became empty (§3.7).
+  bool compress = true;
+
+  /// Extension beyond the paper: during compression, an ANode left with a
+  /// single live SNode collapses to that SNode (hoisted one level up). The
+  /// reachability invariant ("the slot path is a prefix of the hash") is
+  /// preserved because a shorter path is still a prefix.
+  bool compress_singletons = true;
+
+  /// Cache misses a thread accumulates before triggering a depth-sampling
+  /// pass (§3.6; "experimentally set to 2048" in the paper).
+  std::uint32_t max_misses = 2048;
+
+  /// Number of padded per-thread miss counters (the paper's
+  /// THROUGHPUT_FACTOR * #CPU).
+  std::uint32_t miss_slots = 16;
+
+  /// The cache is first created when a slow operation encounters a node at
+  /// this trie level or deeper (§3.5: "If the cachee level is 12, inhabit
+  /// initializes the cache at level 8").
+  std::uint32_t cache_init_trigger_level = 12;
+  std::uint32_t cache_init_level = 8;
+
+  /// Bounds for the adaptive cache level. The lower bound keeps the cache
+  /// from degenerating into a copy of the root; the upper bound caps the
+  /// cache array at 2^max_cache_level pointers.
+  std::uint32_t min_cache_level = 8;
+  std::uint32_t max_cache_level = 24;
+
+  /// Random trie descents per sampling pass (§3.6: "The thread repeats this
+  /// several times").
+  std::uint32_t sample_size = 192;
+
+  /// Maintain operation counters (expansions, cache hits, ...). Off by
+  /// default: benches must not pay for shared-counter traffic.
+  bool collect_stats = false;
+};
+
+}  // namespace cachetrie

@@ -1,0 +1,81 @@
+// table.hpp — aligned plain-text tables for the figure-reproduction
+// binaries, formatted like the paper's reports: one row per x-axis point,
+// one column per data structure, with multipliers normalized against a
+// chosen baseline column (Fig. 9 normalizes against the skip list; the
+// running-time figures read naturally against CHM).
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cachetrie::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) rule += "+";
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+  static std::string fmt(double v, int precision = 2) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+  }
+
+  static std::string fmt_ratio(double v, double baseline) {
+    if (baseline == 0.0) return "n/a";
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(2) << (v / baseline) << "x";
+    return ss.str();
+  }
+
+  static std::string fmt_mean_std(double mean, double std, int precision = 2) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << mean << " ±"
+       << std::setprecision(precision) << std;
+    return ss.str();
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << " " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+      if (c + 1 < widths.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cachetrie::harness

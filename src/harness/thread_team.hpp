@@ -1,0 +1,55 @@
+// thread_team.hpp — barrier-synchronized thread teams for the parallel
+// benchmarks (Figs. 11-13): all threads start their measured section at the
+// same instant; the reported time is the makespan from the first thread's
+// start to the last thread's finish.
+//
+// Each worker timestamps its own start and end. (Timing from the
+// coordinating thread is wrong on oversubscribed/single-core hosts: a
+// worker can run to completion before the coordinator is rescheduled after
+// the barrier, yielding a zero measurement.)
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace cachetrie::harness {
+
+/// Runs body(t) on `threads` threads; returns the makespan in milliseconds.
+template <typename Body>
+double run_team_ms(int threads, Body&& body) {
+  using Clock = std::chrono::steady_clock;
+  std::atomic<std::int64_t> earliest{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> latest{std::numeric_limits<std::int64_t>::min()};
+  std::barrier start{threads};
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&, t] {
+      start.arrive_and_wait();
+      const std::int64_t t0 = Clock::now().time_since_epoch().count();
+      body(t);
+      const std::int64_t t1 = Clock::now().time_since_epoch().count();
+      std::int64_t seen = earliest.load(std::memory_order_relaxed);
+      while (t0 < seen && !earliest.compare_exchange_weak(
+                              seen, t0, std::memory_order_relaxed)) {
+      }
+      seen = latest.load(std::memory_order_relaxed);
+      while (t1 > seen && !latest.compare_exchange_weak(
+                              seen, t1, std::memory_order_relaxed)) {
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  const auto ns = latest.load(std::memory_order_relaxed) -
+                  earliest.load(std::memory_order_relaxed);
+  return static_cast<double>(ns) *
+         (1000.0 * static_cast<double>(Clock::period::num) /
+          static_cast<double>(Clock::period::den));
+}
+
+}  // namespace cachetrie::harness

@@ -1,0 +1,79 @@
+// workload.hpp — key-set generators for the paper's benchmark workloads.
+//
+// §5 of the paper defines three write workloads:
+//   * single-threaded insert of N distinct keys (Fig. 10);
+//   * HIGH contention: every thread inserts the same keys in the same order
+//     (Fig. 11: "The threads insert the same set of keys, in the same
+//     order, so we expect a high contention");
+//   * LOW contention: threads insert disjoint key sets (Fig. 12).
+// Lookup workloads (Figs. 10, 13) probe every pre-inserted key once.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cachetrie::harness {
+
+/// N distinct pseudo-random 64-bit keys (deterministic per seed).
+inline std::vector<std::uint64_t> random_keys(std::size_t n,
+                                              std::uint64_t seed = 42) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  util::SplitMix64 gen{seed};
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(gen.next());
+  return keys;
+}
+
+/// Sequential keys 0..n-1 shuffled (integer keys, like the paper's boxed
+/// Ints/Longs, exercising the hash mixer rather than raw entropy).
+inline std::vector<std::uint64_t> shuffled_sequential_keys(
+    std::size_t n, std::uint64_t seed = 42) {
+  std::vector<std::uint64_t> keys(n);
+  std::iota(keys.begin(), keys.end(), 0);
+  util::XorShift64Star rng{seed};
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(keys[i - 1], keys[j]);
+  }
+  return keys;
+}
+
+/// HIGH-contention workload: every thread gets the same vector.
+struct SharedKeys {
+  std::vector<std::uint64_t> keys;
+
+  explicit SharedKeys(std::size_t n, std::uint64_t seed = 42)
+      : keys(shuffled_sequential_keys(n, seed)) {}
+
+  const std::vector<std::uint64_t>& for_thread(int) const { return keys; }
+  std::size_t total_distinct() const { return keys.size(); }
+};
+
+/// LOW-contention workload: thread t owns keys [t*per, (t+1)*per).
+struct DisjointKeys {
+  std::vector<std::vector<std::uint64_t>> per_thread;
+
+  DisjointKeys(int threads, std::size_t per, std::uint64_t seed = 42) {
+    per_thread.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      std::vector<std::uint64_t> keys(per);
+      std::iota(keys.begin(), keys.end(),
+                static_cast<std::uint64_t>(t) * per);
+      util::XorShift64Star rng{seed + static_cast<std::uint64_t>(t)};
+      for (std::size_t i = per; i > 1; --i) {
+        const std::size_t j = rng.next_below(i);
+        std::swap(keys[i - 1], keys[j]);
+      }
+      per_thread.push_back(std::move(keys));
+    }
+  }
+
+  const std::vector<std::uint64_t>& for_thread(int t) const {
+    return per_thread[static_cast<std::size_t>(t)];
+  }
+};
+
+}  // namespace cachetrie::harness

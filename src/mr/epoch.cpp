@@ -1,0 +1,201 @@
+#include "mr/epoch.hpp"
+
+namespace cachetrie::mr {
+
+EpochDomain& EpochDomain::instance() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::ThreadRecord* EpochDomain::acquire_record() {
+  // First try to recycle a record left behind by an exited thread.
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    bool expected = false;
+    if (!rec->in_use.load(std::memory_order_relaxed) &&
+        rec->in_use.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      return rec;
+    }
+  }
+  // Otherwise push a fresh one. Records are immortal, so traversal by
+  // try_advance never races with deallocation.
+  auto* rec = new ThreadRecord();
+  rec->in_use.store(true, std::memory_order_relaxed);
+  ThreadRecord* head = records_.load(std::memory_order_acquire);
+  do {
+    rec->next = head;
+  } while (!records_.compare_exchange_weak(head, rec,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire));
+  return rec;
+}
+
+EpochDomain::ThreadRecord* EpochDomain::local_record() {
+  thread_local Handle handle;
+  if (handle.record == nullptr) {
+    handle.domain = this;
+    handle.record = acquire_record();
+  }
+  // A single process-wide domain means one handle per thread suffices.
+  assert(handle.domain == this &&
+         "EpochDomain: multiple domains per thread are not supported");
+  return handle.record;
+}
+
+EpochDomain::Handle::~Handle() {
+  if (record == nullptr) return;
+  assert(record->nesting == 0 && "thread exited while holding an EBR guard");
+  domain->orphan_all(*record);
+  record->in_use.store(false, std::memory_order_release);
+}
+
+void EpochDomain::enter() {
+  ThreadRecord* rec = local_record();
+  if (rec->nesting++ != 0) return;
+  // Publish the observed epoch, then verify it did not move; this closes the
+  // window where we would announce a stale epoch after an advance.
+  std::uint64_t e;
+  do {
+    e = global_epoch_.load(std::memory_order_acquire);
+    rec->state.store((e << 1) | 1, std::memory_order_seq_cst);
+  } while (global_epoch_.load(std::memory_order_seq_cst) != e);
+}
+
+void EpochDomain::exit() {
+  ThreadRecord* rec = local_record();
+  assert(rec->nesting > 0);
+  if (--rec->nesting != 0) return;
+  // Opportunistically recycle limbo buckets that became safe while pinned.
+  collect_local(*rec, global_epoch_.load(std::memory_order_acquire));
+  rec->state.store(0, std::memory_order_release);
+}
+
+void EpochDomain::retire(void* p, Deleter deleter) {
+  ThreadRecord* rec = local_record();
+  assert(rec->nesting > 0 && "retire() requires an active guard");
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  const int idx = static_cast<int>(e % 3);
+  if (rec->limbo_epoch[idx] != e) {
+    // Bucket contents are from epoch e-3 or earlier: grace period elapsed.
+    free_bucket(*rec, idx);
+    rec->limbo_epoch[idx] = e;
+  }
+  rec->limbo[idx].push_back(Retired{p, deleter});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (++rec->retire_pulse >= kAdvanceInterval) {
+    rec->retire_pulse = 0;
+    try_advance();
+    collect_local(*rec, global_epoch_.load(std::memory_order_acquire));
+  }
+}
+
+bool EpochDomain::try_advance() {
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    const std::uint64_t s = rec->state.load(std::memory_order_seq_cst);
+    if ((s & 1) != 0 && (s >> 1) != e) return false;  // straggler reader
+  }
+  const bool advanced = global_epoch_.compare_exchange_strong(
+      e, e + 1, std::memory_order_acq_rel, std::memory_order_acquire);
+  if (advanced) collect_orphans(e + 1);
+  return advanced;
+}
+
+void EpochDomain::free_bucket(ThreadRecord& rec, int idx) {
+  auto& bucket = rec.limbo[idx];
+  if (bucket.empty()) return;
+  for (const Retired& r : bucket) r.deleter(r.ptr);
+  freed_total_.fetch_add(bucket.size(), std::memory_order_relaxed);
+  bucket.clear();
+}
+
+void EpochDomain::collect_local(ThreadRecord& rec, std::uint64_t current) {
+  for (int idx = 0; idx < 3; ++idx) {
+    if (!rec.limbo[idx].empty() && rec.limbo_epoch[idx] + 2 <= current) {
+      free_bucket(rec, idx);
+    }
+  }
+}
+
+void EpochDomain::orphan_all(ThreadRecord& rec) {
+  for (int idx = 0; idx < 3; ++idx) {
+    for (const Retired& r : rec.limbo[idx]) {
+      auto* orphan = new Orphan{r, rec.limbo_epoch[idx], nullptr};
+      Orphan* head = orphans_.load(std::memory_order_acquire);
+      do {
+        orphan->next = head;
+      } while (!orphans_.compare_exchange_weak(head, orphan,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire));
+    }
+    rec.limbo[idx].clear();
+    rec.limbo_epoch[idx] = 0;
+  }
+}
+
+void EpochDomain::collect_orphans(std::uint64_t current) {
+  // Detach the whole list, free what is safe, push the rest back.
+  Orphan* head = orphans_.exchange(nullptr, std::memory_order_acq_rel);
+  Orphan* keep = nullptr;
+  std::uint64_t freed = 0;
+  while (head != nullptr) {
+    Orphan* next = head->next;
+    if (head->epoch + 2 <= current) {
+      head->item.deleter(head->item.ptr);
+      delete head;
+      ++freed;
+    } else {
+      head->next = keep;
+      keep = head;
+    }
+    head = next;
+  }
+  if (freed != 0) freed_total_.fetch_add(freed, std::memory_order_relaxed);
+  while (keep != nullptr) {
+    Orphan* next = keep->next;
+    Orphan* cur_head = orphans_.load(std::memory_order_acquire);
+    do {
+      keep->next = cur_head;
+    } while (!orphans_.compare_exchange_weak(cur_head, keep,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire));
+    keep = next;
+  }
+}
+
+std::size_t EpochDomain::drain_for_testing() {
+  std::size_t freed = 0;
+  // All threads must be quiescent; free every limbo bucket of every record
+  // that is not claimed by the calling thread, then the caller's own, then
+  // all orphans.
+  ThreadRecord* self = local_record();
+  assert(self->nesting == 0 && "drain_for_testing() under an active guard");
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    // Only safe because the caller asserts global quiescence: exited threads
+    // already orphaned their items, and `self` is the only live record that
+    // may still hold limbo entries. Draining other in-use records would race
+    // with their owners, so skip them.
+    if (rec != self && rec->in_use.load(std::memory_order_acquire)) continue;
+    for (int idx = 0; idx < 3; ++idx) {
+      freed += rec->limbo[idx].size();
+      free_bucket(*rec, idx);  // free_bucket updates freed_total_
+      rec->limbo_epoch[idx] = 0;
+    }
+  }
+  Orphan* head = orphans_.exchange(nullptr, std::memory_order_acq_rel);
+  std::uint64_t orphan_freed = 0;
+  while (head != nullptr) {
+    Orphan* next = head->next;
+    head->item.deleter(head->item.ptr);
+    delete head;
+    ++orphan_freed;
+    head = next;
+  }
+  freed_total_.fetch_add(orphan_freed, std::memory_order_relaxed);
+  return freed + orphan_freed;
+}
+
+}  // namespace cachetrie::mr

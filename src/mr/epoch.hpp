@@ -1,0 +1,160 @@
+// epoch.hpp — epoch-based reclamation (EBR).
+//
+// Classic three-epoch scheme (Fraser 2004, as used by e.g. libcds and
+// crossbeam-epoch):
+//
+//   * A global epoch counter advances when every thread currently inside a
+//     read-side critical section has observed the current epoch.
+//   * A node retired in epoch `e` may be freed once the global epoch reaches
+//     `e + 2`: any reader that could still hold the node pinned an epoch
+//     <= e, and two advances prove all such readers have since quiesced.
+//   * Retired nodes live in per-thread limbo buckets indexed by epoch mod 3;
+//     a bucket is recycled the moment its tag is at least three epochs old.
+//
+// The domain is a process-wide singleton: thread records are registered
+// lazily on first use via a thread-local handle and recycled (never freed)
+// when a thread exits, so registration is wait-free after the first pin.
+// Guards are reentrant — nested pins on one thread are counted, and only the
+// outermost pin publishes/retracts the epoch.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mr/reclaimer.hpp"
+#include "util/padded.hpp"
+
+namespace cachetrie::mr {
+
+class EpochDomain {
+ public:
+  /// The process-wide domain all EpochReclaimer users share.
+  static EpochDomain& instance();
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// RAII read-side critical section. Cheap (two atomic ops on the
+  /// outermost level, a counter bump when nested).
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& domain) : domain_(&domain) { domain.enter(); }
+    ~Guard() {
+      if (domain_ != nullptr) domain_->exit();
+    }
+    Guard(Guard&& other) noexcept : domain_(other.domain_) {
+      other.domain_ = nullptr;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+
+   private:
+    EpochDomain* domain_;
+  };
+
+  Guard pin() { return Guard{*this}; }
+
+  /// Schedule `deleter(p)` once all current readers have quiesced. Must be
+  /// called from inside a Guard (the retiring operation is itself a reader).
+  void retire(void* p, Deleter deleter);
+
+  template <typename T>
+  void retire(T* p) {
+    retire(static_cast<void*>(p), &delete_as<T>);
+  }
+
+  /// Attempt one epoch advance; returns true on success. Called
+  /// automatically every `kAdvanceInterval` retirements.
+  bool try_advance();
+
+  /// Free *everything* still in limbo. Only valid when no thread holds a
+  /// guard (e.g. after joining all workers in a test). Returns the number of
+  /// objects freed.
+  std::size_t drain_for_testing();
+
+  std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  std::uint64_t retired_count() const noexcept {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const noexcept {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    Deleter deleter;
+  };
+
+  /// One record per (recycled) thread slot; lives forever once allocated.
+  struct alignas(util::kCacheLineSize) ThreadRecord {
+    /// 0 when quiescent, otherwise (epoch << 1) | 1.
+    std::atomic<std::uint64_t> state{0};
+    /// Guard nesting depth; only the owning thread touches it.
+    std::uint32_t nesting = 0;
+    /// Retirements since the last advance attempt.
+    std::uint32_t retire_pulse = 0;
+    /// Limbo buckets, indexed by epoch % 3, tagged with the epoch at which
+    /// their current contents were retired.
+    std::vector<Retired> limbo[3];
+    std::uint64_t limbo_epoch[3] = {0, 0, 0};
+    /// Claimed by a live thread?
+    std::atomic<bool> in_use{false};
+    ThreadRecord* next = nullptr;
+  };
+
+  /// Thread-local handle: claims a record on construction, orphans leftover
+  /// limbo items and releases the record on thread exit.
+  struct Handle {
+    EpochDomain* domain = nullptr;
+    ThreadRecord* record = nullptr;
+    ~Handle();
+  };
+
+  struct Orphan {
+    Retired item;
+    std::uint64_t epoch;
+    Orphan* next;
+  };
+
+  void enter();
+  void exit();
+  ThreadRecord* local_record();
+  ThreadRecord* acquire_record();
+  void free_bucket(ThreadRecord& rec, int idx);
+  void collect_local(ThreadRecord& rec, std::uint64_t current);
+  void collect_orphans(std::uint64_t current);
+  void orphan_all(ThreadRecord& rec);
+
+  static constexpr std::uint32_t kAdvanceInterval = 64;
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<ThreadRecord*> records_{nullptr};
+  std::atomic<Orphan*> orphans_{nullptr};
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> freed_total_{0};
+
+  friend struct Handle;
+};
+
+/// Policy adapter used as a template argument by the data structures.
+struct EpochReclaimer {
+  using Guard = EpochDomain::Guard;
+  static Guard pin() { return EpochDomain::instance().pin(); }
+  template <typename T>
+  static void retire(T* p) {
+    EpochDomain::instance().retire(p);
+  }
+  static void retire_raw(void* p, Deleter d) {
+    EpochDomain::instance().retire(p, d);
+  }
+};
+
+}  // namespace cachetrie::mr

@@ -1,0 +1,148 @@
+#include "mr/hazard.hpp"
+
+#include <algorithm>
+
+namespace cachetrie::mr {
+
+HazardDomain& HazardDomain::instance() {
+  static HazardDomain domain;
+  return domain;
+}
+
+HazardDomain::ThreadRecord* HazardDomain::acquire_record() {
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    bool expected = false;
+    if (!rec->in_use.load(std::memory_order_relaxed) &&
+        rec->in_use.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+      return rec;
+    }
+  }
+  auto* rec = new ThreadRecord();
+  rec->in_use.store(true, std::memory_order_relaxed);
+  ThreadRecord* head = records_.load(std::memory_order_acquire);
+  do {
+    rec->next = head;
+  } while (!records_.compare_exchange_weak(head, rec,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire));
+  return rec;
+}
+
+HazardDomain::ThreadRecord* HazardDomain::local_record() {
+  thread_local Handle handle;
+  if (handle.record == nullptr) {
+    handle.domain = this;
+    handle.record = acquire_record();
+  }
+  assert(handle.domain == this &&
+         "HazardDomain: multiple domains per thread are not supported");
+  return handle.record;
+}
+
+HazardDomain::Handle::~Handle() {
+  if (record == nullptr) return;
+  assert(record->claimed == 0 && "thread exited holding a hazard pointer");
+  domain->orphan_all(*record);
+  record->in_use.store(false, std::memory_order_release);
+}
+
+HazardDomain::HazardPtr HazardDomain::make_hazard() {
+  ThreadRecord* rec = local_record();
+  assert(rec->claimed < kSlotsPerThread && "hazard slots exhausted");
+  std::atomic<void*>* slot = &rec->slots[rec->claimed++];
+  return HazardPtr{slot, rec};
+}
+
+HazardDomain::HazardPtr::~HazardPtr() {
+  if (slot_ == nullptr) return;
+  slot_->store(nullptr, std::memory_order_release);
+  auto* rec = static_cast<ThreadRecord*>(owner_);
+  // LIFO discipline: the most recently claimed slot is released first.
+  assert(&rec->slots[rec->claimed - 1] == slot_ &&
+         "hazard pointers must be released in LIFO order");
+  --rec->claimed;
+}
+
+void HazardDomain::retire(void* p, Deleter deleter) {
+  ThreadRecord* rec = local_record();
+  rec->retired.push_back(Retired{p, deleter});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (rec->retired.size() >= kScanThreshold) {
+    scan_list(rec->retired);
+  }
+}
+
+std::size_t HazardDomain::scan_list(std::vector<Retired>& list) {
+  // Snapshot every published hazard.
+  std::vector<void*> protected_ptrs;
+  protected_ptrs.reserve(64);
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    for (const auto& slot : rec->slots) {
+      void* p = slot.load(std::memory_order_seq_cst);
+      if (p != nullptr) protected_ptrs.push_back(p);
+    }
+  }
+  std::sort(protected_ptrs.begin(), protected_ptrs.end());
+
+  std::size_t freed = 0;
+  std::vector<Retired> keep;
+  keep.reserve(list.size());
+  for (const Retired& r : list) {
+    if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                           r.ptr)) {
+      keep.push_back(r);
+    } else {
+      r.deleter(r.ptr);
+      ++freed;
+    }
+  }
+  list.swap(keep);
+  if (freed != 0) freed_total_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t HazardDomain::scan() {
+  // Also pick up orphans from exited threads.
+  std::vector<Retired>* orphans =
+      orphans_.exchange(nullptr, std::memory_order_acq_rel);
+  ThreadRecord* rec = local_record();
+  if (orphans != nullptr) {
+    rec->retired.insert(rec->retired.end(), orphans->begin(), orphans->end());
+    delete orphans;
+  }
+  return scan_list(rec->retired);
+}
+
+void HazardDomain::orphan_all(ThreadRecord& rec) {
+  if (rec.retired.empty()) return;
+  auto* mine = new std::vector<Retired>(std::move(rec.retired));
+  rec.retired.clear();
+  // Merge with any existing orphan batch.
+  while (true) {
+    std::vector<Retired>* cur = orphans_.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      std::vector<Retired>* expected = nullptr;
+      if (orphans_.compare_exchange_strong(expected, mine,
+                                           std::memory_order_acq_rel)) {
+        return;
+      }
+    } else if (orphans_.compare_exchange_strong(cur, nullptr,
+                                                std::memory_order_acq_rel)) {
+      mine->insert(mine->end(), cur->begin(), cur->end());
+      delete cur;
+    }
+  }
+}
+
+std::size_t HazardDomain::drain_for_testing() {
+  std::size_t freed = scan();
+  // With no live hazards, a second scan frees anything the first pass
+  // re-queued; everything must go.
+  freed += scan();
+  return freed;
+}
+
+}  // namespace cachetrie::mr

@@ -1,0 +1,157 @@
+// hazard.hpp — hazard-pointer reclamation (Michael, "Hazard Pointers: Safe
+// Memory Reclamation for Lock-Free Objects", TPDS 2004).
+//
+// Each thread owns a small fixed set of hazard slots. Before dereferencing a
+// shared pointer, a reader publishes it in a slot and re-validates the
+// source; a retired node is freed only when no published slot holds it.
+//
+// Compared to EBR this bounds unreclaimed garbage by O(threads * slots) but
+// costs one seq_cst store per protected hop — which is precisely why every
+// data structure in this repo defaults to EBR (a trie descent would need a
+// store per level). The domain is provided, fully tested, for structures
+// with bounded hops per operation; `bench/ablation_cache` quantifies what
+// reclamation costs on the write path.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mr/reclaimer.hpp"
+#include "util/padded.hpp"
+
+namespace cachetrie::mr {
+
+class HazardDomain {
+ public:
+  static constexpr int kSlotsPerThread = 8;
+
+  static HazardDomain& instance();
+
+  HazardDomain() = default;
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  /// RAII hazard slot. Acquire with make_hazard(); protects one pointer at a
+  /// time. Slots are claimed/released in LIFO order per thread.
+  class HazardPtr {
+   public:
+    HazardPtr(HazardPtr&& other) noexcept
+        : slot_(other.slot_), owner_(other.owner_) {
+      other.slot_ = nullptr;
+      other.owner_ = nullptr;
+    }
+    HazardPtr(const HazardPtr&) = delete;
+    HazardPtr& operator=(const HazardPtr&) = delete;
+    HazardPtr& operator=(HazardPtr&&) = delete;
+    ~HazardPtr();
+
+    /// Publish-and-validate loop: returns a pointer read from `src` that is
+    /// guaranteed protected until reset/destruction.
+    template <typename T>
+    T* protect(const std::atomic<T*>& src) noexcept {
+      T* p = src.load(std::memory_order_acquire);
+      while (true) {
+        slot_->store(p, std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_seq_cst);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    /// Protect an already-loaded pointer; caller must re-validate that the
+    /// pointer is still reachable after this returns.
+    void set(void* p) noexcept {
+      slot_->store(p, std::memory_order_seq_cst);
+    }
+
+    void reset() noexcept { slot_->store(nullptr, std::memory_order_release); }
+
+   private:
+    friend class HazardDomain;
+    HazardPtr(std::atomic<void*>* slot, void* owner) noexcept
+        : slot_(slot), owner_(owner) {}
+    std::atomic<void*>* slot_;
+    void* owner_;  // ThreadRecord*, opaque here
+  };
+
+  HazardPtr make_hazard();
+
+  void retire(void* p, Deleter deleter);
+
+  template <typename T>
+  void retire(T* p) {
+    retire(static_cast<void*>(p), &delete_as<T>);
+  }
+
+  /// Scan all hazard slots and free every retired node not protected.
+  /// Returns the number of objects freed. Invoked automatically when a
+  /// thread's retired list grows past the scan threshold.
+  std::size_t scan();
+
+  /// Free everything still retired. Only valid with no live hazard slots.
+  std::size_t drain_for_testing();
+
+  std::uint64_t retired_count() const noexcept {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const noexcept {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    Deleter deleter;
+  };
+
+  struct alignas(util::kCacheLineSize) ThreadRecord {
+    std::atomic<void*> slots[kSlotsPerThread] = {};
+    std::uint32_t claimed = 0;  // LIFO watermark, owner-only
+    std::vector<Retired> retired;
+    std::atomic<bool> in_use{false};
+    ThreadRecord* next = nullptr;
+  };
+
+  struct Handle {
+    HazardDomain* domain = nullptr;
+    ThreadRecord* record = nullptr;
+    ~Handle();
+  };
+
+  ThreadRecord* local_record();
+  ThreadRecord* acquire_record();
+  void orphan_all(ThreadRecord& rec);
+  std::size_t scan_list(std::vector<Retired>& list);
+
+  static constexpr std::size_t kScanThreshold = 128;
+
+  std::atomic<ThreadRecord*> records_{nullptr};
+  std::atomic<std::uint64_t> retired_total_{0};
+  std::atomic<std::uint64_t> freed_total_{0};
+  // Orphaned retired items from exited threads (mutex-free: swapped through
+  // an atomic pointer to a heap vector).
+  std::atomic<std::vector<Retired>*> orphans_{nullptr};
+
+  friend struct Handle;
+};
+
+/// Policy adapter. Note: HazardReclaimer's Guard does NOT protect trie
+/// descents by itself (hazard pointers protect single hops, via HazardPtr);
+/// data structures that traverse unboundedly deep paths must use
+/// EpochReclaimer, which is why it is the repo-wide default.
+struct HazardReclaimer {
+  struct Guard {};
+  static Guard pin() { return {}; }
+  template <typename T>
+  static void retire(T* p) {
+    HazardDomain::instance().retire(p);
+  }
+  static void retire_raw(void* p, Deleter d) {
+    HazardDomain::instance().retire(p, d);
+  }
+};
+
+}  // namespace cachetrie::mr

@@ -1,0 +1,47 @@
+// reclaimer.hpp — common vocabulary for safe memory reclamation policies.
+//
+// The paper's artifact runs on the JVM, where the garbage collector silently
+// guarantees that a node a reader still holds is never recycled. A native
+// reproduction must provide that guarantee manually; this directory supplies
+// three interchangeable policies:
+//
+//   * mr::EpochReclaimer  — epoch-based reclamation (EBR); the default for
+//                           every data structure in this repo. Readers pin a
+//                           global epoch for the duration of one operation;
+//                           retired nodes are freed two epochs later.
+//   * mr::HazardReclaimer — hazard pointers (Michael 2004); per-pointer
+//                           protection, used by the chashmap bucket lists and
+//                           available for ablation.
+//   * mr::LeakReclaimer   — never frees; isolates reclamation overhead in
+//                           the ablation benches and simplifies some tests.
+//
+// A policy P provides:
+//   typename P::Guard          RAII critical-section token
+//   P::pin() -> Guard          enter a read-side critical section
+//   P::retire<T>(T* p)         schedule `delete p` after a grace period
+//   P::retire_raw(p, deleter)  same, with an explicit type-erased deleter
+//
+// All data structures are templated on the policy, so the ablation benches
+// can swap reclamation backends without touching algorithm code.
+#pragma once
+
+namespace cachetrie::mr {
+
+/// Type-erased deleter invoked once the grace period for a retired object
+/// has elapsed. Must not touch any shared structure (it may run long after
+/// the owning container died).
+using Deleter = void (*)(void*);
+
+/// Canonical deleter for objects allocated with plain `new`.
+template <typename T>
+void delete_as(void* p) {
+  delete static_cast<T*>(p);
+}
+
+/// Deleter for raw storage obtained from ::operator new (flexible-array
+/// nodes whose members are all trivially destructible).
+inline void free_raw_storage(void* p) {
+  ::operator delete(p);
+}
+
+}  // namespace cachetrie::mr

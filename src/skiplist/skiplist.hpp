@@ -1,0 +1,400 @@
+// skiplist.hpp — lock-free concurrent skip list, the ConcurrentSkipListMap
+// analogue the cache-trie paper benchmarks against (its worst performer:
+// O(log n) pointer hops with poor locality — Figs. 10 and 13).
+//
+// Algorithm: the Herlihy–Shavit LockFreeSkipList (The Art of Multiprocessor
+// Programming, ch. 14; after Fraser 2004): per-level next pointers carry a
+// mark bit (tagged pointer); removal marks a node bottom-up-last (the
+// bottom-level mark is the linearization point), and find() physically
+// snips marked nodes at every level it traverses.
+//
+// Two departures from the book, both forced by manual memory reclamation
+// (the book assumes GC):
+//   * The bottom-mark winner retires the node only after its own find()
+//     pass has unlinked it everywhere, and inserts that link a node re-check
+//     their successors' marks afterwards (with seq_cst ordering) and re-run
+//     find() if any was marked. Together these form the same
+//     "mark-then-clear vs publish-then-check" handshake the cache-trie's
+//     cache uses: a marked node can never stay reachable past its grace
+//     period.
+//   * Values are stored in a std::atomic<V> (V must be trivially copyable)
+//     so upserts can update in place, mirroring the JDK's volatile value
+//     reference.
+//
+// Keys must be totally ordered (std::less), like ConcurrentSkipListMap's.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mr/epoch.hpp"
+#include "util/rng.hpp"
+
+namespace cachetrie::csl {
+
+template <typename K, typename V, typename Compare = std::less<K>,
+          typename Reclaimer = mr::EpochReclaimer>
+class ConcurrentSkipList {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "skip list values are stored in std::atomic<V>");
+
+ public:
+  static constexpr int kMaxLevel = 24;  // supports ~16M keys at p=1/2
+
+ private:
+  struct Node {
+    K key;
+    std::atomic<V> value;
+    int top_level;  // highest level this node is linked at (0-based)
+    bool is_head;
+
+    std::atomic<std::uintptr_t>* next() noexcept {
+      return reinterpret_cast<std::atomic<std::uintptr_t>*>(this + 1);
+    }
+    const std::atomic<std::uintptr_t>* next() const noexcept {
+      return reinterpret_cast<const std::atomic<std::uintptr_t>*>(this + 1);
+    }
+
+    static std::size_t alloc_size(int top_level) noexcept {
+      return sizeof(Node) +
+             static_cast<std::size_t>(top_level + 1) *
+                 sizeof(std::atomic<std::uintptr_t>);
+    }
+
+    static Node* make(const K& key, const V& value, int top_level,
+                      bool is_head = false) {
+      void* raw = ::operator new(alloc_size(top_level));
+      auto* n = new (raw) Node{key, {}, top_level, is_head};
+      n->value.store(value, std::memory_order_relaxed);
+      for (int i = 0; i <= top_level; ++i) {
+        std::construct_at(n->next() + i, std::uintptr_t{0});
+      }
+      return n;
+    }
+
+    static void destroy(Node* n) noexcept {
+      n->~Node();
+      ::operator delete(n);
+    }
+    static void destroy_erased(void* n) { destroy(static_cast<Node*>(n)); }
+  };
+
+  static Node* ptr_of(std::uintptr_t t) noexcept {
+    return reinterpret_cast<Node*>(t & ~std::uintptr_t{1});
+  }
+  static bool marked(std::uintptr_t t) noexcept { return (t & 1) != 0; }
+  static std::uintptr_t pack(Node* p, bool mark) noexcept {
+    return reinterpret_cast<std::uintptr_t>(p) | (mark ? 1 : 0);
+  }
+
+ public:
+  ConcurrentSkipList() {
+    head_ = Node::make(K{}, V{}, kMaxLevel - 1, /*is_head=*/true);
+  }
+
+  ConcurrentSkipList(const ConcurrentSkipList&) = delete;
+  ConcurrentSkipList& operator=(const ConcurrentSkipList&) = delete;
+
+  ~ConcurrentSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = ptr_of(n->next()[0].load(std::memory_order_relaxed));
+      Node::destroy(n);
+      n = nx;
+    }
+  }
+
+  /// Inserts or replaces. Returns true iff the key was new.
+  bool insert(const K& key, const V& value) {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    while (true) {
+      if (find(key, preds, succs)) {
+        Node* found = succs[0];
+        // In-place value update, then re-check the removal mark: a remover
+        // that marked before our store returns *its* observed value, so a
+        // post-store mark means our update may be lost — redo the insert.
+        found->value.store(value, std::memory_order_seq_cst);
+        if (marked(found->next()[0].load(std::memory_order_seq_cst))) {
+          continue;
+        }
+        return false;
+      }
+      const int top = random_level();
+      Node* n = Node::make(key, value, top);
+      n->next()[0].store(pack(succs[0], false), std::memory_order_relaxed);
+      for (int lev = 1; lev <= top; ++lev) {
+        n->next()[lev].store(pack(succs[lev], false),
+                             std::memory_order_relaxed);
+      }
+      std::uintptr_t expected = pack(succs[0], false);
+      if (!head_level_cas(preds[0], 0, expected, pack(n, false))) {
+        Node::destroy(n);  // never published
+        continue;
+      }
+      link_upper_levels(n, top, key, preds, succs);
+      return true;
+    }
+  }
+
+  bool put_if_absent(const K& key, const V& value) {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    while (true) {
+      if (find(key, preds, succs)) return false;
+      const int top = random_level();
+      Node* n = Node::make(key, value, top);
+      for (int lev = 0; lev <= top; ++lev) {
+        n->next()[lev].store(pack(succs[lev], false),
+                             std::memory_order_relaxed);
+      }
+      std::uintptr_t expected = pack(succs[0], false);
+      if (!head_level_cas(preds[0], 0, expected, pack(n, false))) {
+        Node::destroy(n);
+        continue;
+      }
+      link_upper_levels(n, top, key, preds, succs);
+      return true;
+    }
+  }
+
+  std::optional<V> lookup(const K& key) const {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    // Wait-free-ish traversal: never snips, never restarts.
+    const Node* pred = head_;
+    for (int lev = kMaxLevel - 1; lev >= 0; --lev) {
+      const Node* curr = ptr_of(pred->next()[lev].load(std::memory_order_acquire));
+      while (curr != nullptr) {
+        const std::uintptr_t succ_t =
+            curr->next()[lev].load(std::memory_order_acquire);
+        if (less_(curr->key, key)) {
+          pred = curr;
+          curr = ptr_of(succ_t);
+          continue;
+        }
+        if (!less_(key, curr->key)) {  // equal
+          // A marked bottom pointer means logically removed.
+          if (marked(curr->next()[0].load(std::memory_order_acquire))) {
+            return std::nullopt;
+          }
+          return curr->value.load(std::memory_order_acquire);
+        }
+        break;  // curr->key > key: descend a level
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool contains(const K& key) const { return lookup(key).has_value(); }
+
+  std::optional<V> remove(const K& key) {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    if (!find(key, preds, succs)) return std::nullopt;
+    Node* victim = succs[0];
+    // Mark the upper levels top-down (best effort; idempotent).
+    for (int lev = victim->top_level; lev >= 1; --lev) {
+      std::uintptr_t t = victim->next()[lev].load(std::memory_order_seq_cst);
+      while (!marked(t)) {
+        if (victim->next()[lev].compare_exchange_weak(
+                t, t | 1, std::memory_order_seq_cst)) {
+          break;
+        }
+      }
+    }
+    // Bottom-level mark is the linearization point; its winner owns the
+    // removal (and the retirement).
+    std::uintptr_t t = victim->next()[0].load(std::memory_order_seq_cst);
+    while (true) {
+      if (marked(t)) return std::nullopt;  // another remover won
+      if (victim->next()[0].compare_exchange_weak(
+              t, t | 1, std::memory_order_seq_cst)) {
+        const V out = victim->value.load(std::memory_order_seq_cst);
+        // Physically unlink everywhere, then retire: after this find() the
+        // node is unreachable (inserts that could have re-linked a marked
+        // successor re-run find themselves — see link_upper_levels).
+        find(key, preds, succs);
+        Reclaimer::retire_raw(victim, &Node::destroy_erased);
+        return out;
+      }
+    }
+  }
+
+  std::size_t size() const {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    std::size_t n = 0;
+    for (Node* curr = ptr_of(head_->next()[0].load(std::memory_order_acquire));
+         curr != nullptr;
+         curr = ptr_of(curr->next()[0].load(std::memory_order_acquire))) {
+      if (!marked(curr->next()[0].load(std::memory_order_acquire))) ++n;
+    }
+    return n;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    for (Node* curr = ptr_of(head_->next()[0].load(std::memory_order_acquire));
+         curr != nullptr;
+         curr = ptr_of(curr->next()[0].load(std::memory_order_acquire))) {
+      if (!marked(curr->next()[0].load(std::memory_order_acquire))) {
+        fn(curr->key, curr->value.load(std::memory_order_acquire));
+      }
+    }
+  }
+
+  std::size_t footprint_bytes() const {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    std::size_t bytes = sizeof(*this) + Node::alloc_size(kMaxLevel - 1);
+    for (Node* curr = ptr_of(head_->next()[0].load(std::memory_order_acquire));
+         curr != nullptr;
+         curr = ptr_of(curr->next()[0].load(std::memory_order_acquire))) {
+      bytes += Node::alloc_size(curr->top_level);
+    }
+    return bytes;
+  }
+
+  /// Quiescent invariant check: strictly sorted bottom level, no marks, and
+  /// every upper-level list is a sublist of the bottom one.
+  std::vector<std::string> debug_validate() const {
+    std::vector<std::string> issues;
+    const Node* prev = nullptr;
+    for (const Node* curr =
+             ptr_of(head_->next()[0].load(std::memory_order_acquire));
+         curr != nullptr;
+         curr = ptr_of(curr->next()[0].load(std::memory_order_acquire))) {
+      if (marked(curr->next()[0].load(std::memory_order_acquire))) {
+        issues.push_back("marked node in quiescent skip list");
+      }
+      if (prev != nullptr && !less_(prev->key, curr->key)) {
+        issues.push_back("bottom level not strictly sorted");
+      }
+      prev = curr;
+    }
+    for (int lev = 1; lev < kMaxLevel; ++lev) {
+      for (const Node* curr =
+               ptr_of(head_->next()[lev].load(std::memory_order_acquire));
+           curr != nullptr;
+           curr = ptr_of(curr->next()[lev].load(std::memory_order_acquire))) {
+        if (curr->top_level < lev) {
+          issues.push_back("node linked above its top level");
+        }
+      }
+    }
+    return issues;
+  }
+
+ private:
+  bool head_level_cas(Node* pred, int lev, std::uintptr_t& expected,
+                      std::uintptr_t desired) {
+    return pred->next()[lev].compare_exchange_strong(
+        expected, desired, std::memory_order_seq_cst);
+  }
+
+  /// Links levels 1..top of a freshly inserted node. The node's own next
+  /// pointers are updated with CAS so a concurrent removal's mark is never
+  /// overwritten; if the node got marked, linking stops (the remover's find
+  /// unlinks whatever was already linked).
+  void link_upper_levels(Node* n, int top, const K& key, Node** preds,
+                         Node** succs) {
+    bool resnip = false;
+    for (int lev = 1; lev <= top; ++lev) {
+      while (true) {
+        std::uintptr_t own = n->next()[lev].load(std::memory_order_seq_cst);
+        if (marked(own)) return;  // being removed; abandon the upper levels
+        if (ptr_of(own) != succs[lev]) {
+          // Align our forward pointer with the current successor first.
+          if (!n->next()[lev].compare_exchange_strong(
+                  own, pack(succs[lev], false), std::memory_order_seq_cst)) {
+            continue;
+          }
+        }
+        std::uintptr_t expected = pack(succs[lev], false);
+        if (preds[lev]->next()[lev].compare_exchange_strong(
+                expected, pack(n, false), std::memory_order_seq_cst)) {
+          // Re-check for the resurrection race: if the successor we just
+          // published was marked meanwhile, a remover may already have
+          // finished its unlink pass — snip it ourselves via find().
+          if (succs[lev] != nullptr &&
+              marked(succs[lev]->next()[lev].load(std::memory_order_seq_cst))) {
+            resnip = true;
+          }
+          break;
+        }
+        // Predecessor changed: recompute the neighborhood.
+        if (find(key, preds, succs)) {
+          if (succs[0] != n) return;  // our node vanished (removed)
+        } else {
+          return;  // removed entirely
+        }
+      }
+    }
+    if (resnip) {
+      find(key, preds, succs);
+    }
+  }
+
+  /// Herlihy–Shavit find: locates the neighborhood of `key` on every level,
+  /// snipping marked nodes along the way. Returns true iff an unmarked node
+  /// with the key sits at the bottom level.
+  bool find(const K& key, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    for (int lev = kMaxLevel - 1; lev >= 0; --lev) {
+      Node* curr = ptr_of(pred->next()[lev].load(std::memory_order_seq_cst));
+      while (true) {
+        if (curr == nullptr) break;
+        std::uintptr_t succ_t =
+            curr->next()[lev].load(std::memory_order_seq_cst);
+        while (marked(succ_t)) {
+          // curr is logically removed: unlink it at this level.
+          std::uintptr_t expected = pack(curr, false);
+          if (!pred->next()[lev].compare_exchange_strong(
+                  expected, pack(ptr_of(succ_t), false),
+                  std::memory_order_seq_cst)) {
+            goto retry;
+          }
+          curr = ptr_of(succ_t);
+          if (curr == nullptr) break;
+          succ_t = curr->next()[lev].load(std::memory_order_seq_cst);
+        }
+        if (curr == nullptr) break;
+        if (less_(curr->key, key)) {
+          pred = curr;
+          curr = ptr_of(succ_t);
+        } else {
+          break;
+        }
+      }
+      preds[lev] = pred;
+      succs[lev] = curr;
+    }
+    return succs[0] != nullptr && !less_(key, succs[0]->key) &&
+           !less_(succs[0]->key, key);
+  }
+
+  /// Geometric level distribution, p = 1/2.
+  int random_level() {
+    const std::uint64_t r = util::thread_rng().next();
+    int lev = 0;
+    while (lev < kMaxLevel - 1 && ((r >> lev) & 1) != 0) ++lev;
+    return lev;
+  }
+
+  Compare less_{};
+  Node* head_;
+};
+
+}  // namespace cachetrie::csl

@@ -1,0 +1,42 @@
+// bits.hpp — small bit-manipulation helpers shared by the tries and the
+// benchmark harness.
+//
+// Part of the cache-trie reproduction (Prokopec, PPoPP'18).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace cachetrie::util {
+
+/// Number of trailing zero bits; used to recover a cache array's trie level
+/// from its length (paper, Fig. 6: `countTrailingZeros(cache.length - 1)`).
+template <typename U>
+  requires std::is_unsigned_v<U>
+constexpr int count_trailing_zeros(U x) noexcept {
+  return std::countr_zero(x);
+}
+
+/// Population count, used by the Ctrie baseline's bitmap indexing.
+template <typename U>
+  requires std::is_unsigned_v<U>
+constexpr int popcount(U x) noexcept {
+  return std::popcount(x);
+}
+
+/// Smallest power of two >= x (x must be >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) noexcept {
+  return 63 - std::countl_zero(x);
+}
+
+}  // namespace cachetrie::util

@@ -1,0 +1,32 @@
+// padded.hpp — false-sharing avoidance.
+//
+// Used for the cache-trie's per-thread miss counters (paper §3.6: "To
+// decrease contention when counting the misses, the subroutine uses the
+// misses array") and the harness's per-thread result slots.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace cachetrie::util {
+
+// Fixed at 64 (true for every x86-64 and most AArch64 parts) rather than
+// std::hardware_destructive_interference_size, whose value is flag-dependent
+// and therefore unsuitable for anything ABI-adjacent (GCC warns about this).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Value padded out to its own cache line.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+};
+
+/// Atomic counter on its own cache line.
+struct alignas(kCacheLineSize) PaddedCounter {
+  std::atomic<std::int64_t> value{0};
+};
+
+static_assert(sizeof(PaddedCounter) >= kCacheLineSize);
+
+}  // namespace cachetrie::util

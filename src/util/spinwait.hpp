@@ -1,0 +1,50 @@
+// spinwait.hpp — polite busy-waiting primitives.
+//
+// Lock-free algorithms in this repo never *need* to wait, but helpers (e.g.
+// the chashmap's per-bin locks and tests' start barriers) benefit from an
+// exponential backoff that yields to the OS on oversubscribed machines —
+// essential in this container, which exposes a single hardware thread.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cachetrie::util {
+
+/// Single CPU relax hint.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: nothing cheaper than a compiler barrier.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Exponential backoff: spins with cpu_relax for the first few rounds, then
+/// yields the OS slice. Reset between acquisitions.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (round_ < kSpinRounds) {
+      for (std::uint32_t i = 0; i < (1u << round_); ++i) cpu_relax();
+      ++round_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { round_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinRounds = 6;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace cachetrie::util

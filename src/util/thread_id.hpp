@@ -1,0 +1,24 @@
+// thread_id.hpp — small dense per-thread identifiers.
+//
+// The cache-trie's miss-counter array and the reclamation domains index
+// per-thread slots by a dense id rather than std::thread::id (which is
+// opaque and unbounded).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cachetrie::util {
+
+/// Monotonically assigned dense thread id (0, 1, 2, ...). Ids are never
+/// reused; consumers that need a bounded range take `current_thread_id() %
+/// capacity`, which is exactly how the paper's misses array is indexed
+/// ("the counter position is computed from the thread ID").
+inline std::uint32_t current_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace cachetrie::util

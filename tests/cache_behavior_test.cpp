@@ -1,0 +1,182 @@
+// cache_behavior_test.cpp — targeted tests of the cache subsystem
+// (paper §3.4-3.6): creation trigger, inhabitation, fast hits, automatic
+// eviction of stale entries, miss counting, depth sampling, and level
+// adaptation in both directions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cachetrie/cache_trie.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using cachetrie::CacheTrie;
+using cachetrie::Config;
+
+using Trie = CacheTrie<std::uint64_t, std::uint64_t>;
+
+Config stats_config() {
+  Config cfg;
+  cfg.collect_stats = true;
+  cfg.max_misses = 64;  // sample aggressively so tests converge fast
+  return cfg;
+}
+
+TEST(CacheBehavior, NoCacheWhileTrieIsShallow) {
+  // The cache is created only once some key reaches
+  // cache_init_trigger_level (12). Grow the trie key by key and check the
+  // cache appears exactly when the histogram says depth >= 3 exists.
+  Trie trie{stats_config()};
+  for (std::uint64_t k = 0; k < 3000; ++k) {
+    trie.insert(k, k);
+    (void)trie.lookup(k);
+    const auto hist = trie.level_histogram();
+    bool deep = false;
+    for (std::size_t d = 3; d < hist.counts.size(); ++d) {
+      if (hist.counts[d] != 0) deep = true;
+    }
+    if (!deep) {
+      ASSERT_EQ(trie.cache_level(), -1) << "cache created too early at key "
+                                        << k;
+    } else {
+      return;  // trigger depth reached; creation may now happen any time
+    }
+  }
+}
+
+TEST(CacheBehavior, CacheCreatedWhenTrieDeepens) {
+  Trie trie{stats_config()};
+  const auto keys = cachetrie::harness::random_keys(300000);
+  for (auto k : keys) trie.insert(k, k);
+  for (auto k : keys) (void)trie.lookup(k);
+  EXPECT_GE(trie.cache_level(), 8);
+  EXPECT_GE(trie.stats().cache_installs.load(), 1u);
+}
+
+TEST(CacheBehavior, LookupsHitTheCacheAfterWarmup) {
+  Trie trie{stats_config()};
+  const auto keys = cachetrie::harness::random_keys(300000);
+  for (auto k : keys) trie.insert(k, k);
+  for (auto k : keys) (void)trie.lookup(k);  // create + adapt + warm
+  for (auto k : keys) (void)trie.lookup(k);  // warm at the settled level
+  const auto hits0 = trie.stats().cache_fast_hits.load();
+  for (auto k : keys) {
+    ASSERT_EQ(trie.lookup(k).value(), k);
+  }
+  const auto hits = trie.stats().cache_fast_hits.load() - hits0;
+  // The vast majority of lookups must be served through the cache.
+  EXPECT_GT(hits, keys.size() * 9 / 10);
+}
+
+TEST(CacheBehavior, SamplingMovesCacheToPopulatedLevel) {
+  Trie trie{stats_config()};
+  const std::size_t n = 1000000;  // most keys at levels 16/20 (16^5 = n)
+  const auto keys = cachetrie::harness::random_keys(n);
+  for (auto k : keys) trie.insert(k, k);
+  for (int round = 0; round < 3; ++round) {
+    for (auto k : keys) (void)trie.lookup(k);
+    if (trie.cache_level() >= 16) break;
+  }
+  EXPECT_GE(trie.cache_level(), 16);
+  EXPECT_LE(trie.cache_level(), 20);
+  EXPECT_GE(trie.stats().sampling_passes.load(), 1u);
+}
+
+TEST(CacheBehavior, CacheLevelShrinksWhenPopulationShrinks) {
+  // Note: removing only a fraction of the keys does NOT move the cache —
+  // survivors keep their depth (compression collapses empty/singleton
+  // nodes, it does not rebalance). The downward adjustment shows when the
+  // deep population is replaced by a shallow one.
+  Config cfg = stats_config();
+  Trie trie{cfg};
+  const auto big = cachetrie::harness::random_keys(1000000, 1);
+  for (auto k : big) trie.insert(k, k);
+  for (int round = 0; round < 3 && trie.cache_level() < 16; ++round) {
+    for (auto k : big) (void)trie.lookup(k);
+  }
+  const auto deep_level = trie.cache_level();
+  ASSERT_GE(deep_level, 16);
+  for (auto k : big) (void)trie.remove(k);
+  const auto small = cachetrie::harness::random_keys(20000, 2);
+  for (auto k : small) trie.insert(k, k);
+  for (int round = 0;
+       round < 10 && trie.cache_level() >= deep_level; ++round) {
+    for (auto k : small) (void)trie.lookup(k);
+  }
+  EXPECT_LT(trie.cache_level(), deep_level);
+  // Lookups remain exact across the shrink.
+  for (std::size_t i = 0; i < small.size(); i += 17) {
+    ASSERT_EQ(trie.lookup(small[i]).value(), small[i]);
+  }
+}
+
+TEST(CacheBehavior, RemovedKeysInvisibleThroughWarmCache) {
+  // The automatic-eviction property (§3.4): after a removal, a lookup that
+  // goes through a stale cache entry must still answer "absent".
+  Trie trie{stats_config()};
+  const auto keys = cachetrie::harness::random_keys(300000);
+  for (auto k : keys) trie.insert(k, k);
+  for (auto k : keys) (void)trie.lookup(k);  // warm cache with SNodes
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(trie.remove(keys[i]).has_value());
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(trie.lookup(keys[i]).has_value(), i % 2 == 1) << i;
+  }
+}
+
+TEST(CacheBehavior, ReplacedValueVisibleThroughWarmCache) {
+  Trie trie{stats_config()};
+  const auto keys = cachetrie::harness::random_keys(300000);
+  for (auto k : keys) trie.insert(k, 1);
+  for (auto k : keys) (void)trie.lookup(k);  // warm
+  for (auto k : keys) trie.insert(k, 2);     // replace every pair
+  for (auto k : keys) {
+    ASSERT_EQ(trie.lookup(k).value(), 2u);
+  }
+}
+
+TEST(CacheBehavior, MissCounterTriggersSampling) {
+  Config cfg = stats_config();
+  cfg.max_misses = 16;
+  Trie trie{cfg};
+  const auto keys = cachetrie::harness::random_keys(400000);
+  for (auto k : keys) trie.insert(k, k);
+  const auto samples0 = trie.stats().sampling_passes.load();
+  for (auto k : keys) (void)trie.lookup(k);
+  EXPECT_GT(trie.stats().sampling_passes.load(), samples0);
+  EXPECT_GT(trie.stats().cache_misses_recorded.load(), 0u);
+}
+
+TEST(CacheBehavior, WithoutCacheNoStatsAccumulate) {
+  Config cfg = stats_config();
+  cfg.use_cache = false;
+  Trie trie{cfg};
+  const auto keys = cachetrie::harness::random_keys(200000);
+  for (auto k : keys) trie.insert(k, k);
+  for (auto k : keys) (void)trie.lookup(k);
+  EXPECT_EQ(trie.cache_level(), -1);
+  EXPECT_EQ(trie.stats().cache_fast_hits.load(), 0u);
+  EXPECT_EQ(trie.stats().cache_installs.load(), 0u);
+}
+
+TEST(CacheBehavior, PinnedCacheLevelStaysPinned) {
+  Config cfg = stats_config();
+  cfg.cache_init_level = 12;
+  cfg.min_cache_level = 12;
+  cfg.max_cache_level = 12;
+  Trie trie{cfg};
+  const auto keys = cachetrie::harness::random_keys(1000000);
+  for (auto k : keys) trie.insert(k, k);
+  for (int round = 0; round < 3; ++round) {
+    for (auto k : keys) (void)trie.lookup(k);
+  }
+  EXPECT_EQ(trie.cache_level(), 12);
+  // Lookups remain exact even at a suboptimal pinned level.
+  for (std::size_t i = 0; i < keys.size(); i += 1000) {
+    ASSERT_EQ(trie.lookup(keys[i]).value(), keys[i]);
+  }
+}
+
+}  // namespace

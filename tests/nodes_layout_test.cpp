@@ -1,0 +1,121 @@
+// nodes_layout_test.cpp — whitebox tests of the node and cache-array
+// memory layouts: exact allocation sizes (the footprint benches depend on
+// them), slot alignment, sentinel identity, and construction/destruction of
+// the flexible-array nodes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cachetrie/cache.hpp"
+#include "cachetrie/nodes.hpp"
+
+namespace {
+
+using namespace cachetrie::detail;
+
+TEST(NodeLayout, SentinelsAreDistinctSingletons) {
+  EXPECT_EQ(Sentinels::fv(), Sentinels::fv());
+  EXPECT_EQ(Sentinels::fs(), Sentinels::fs());
+  EXPECT_NE(Sentinels::fv(), Sentinels::fs());
+  EXPECT_NE(Sentinels::no_txn(), Sentinels::pending());
+  EXPECT_EQ(Sentinels::fv()->kind, Kind::kFVNode);
+  EXPECT_EQ(Sentinels::fs()->kind, Kind::kFSNode);
+  EXPECT_EQ(Sentinels::no_txn()->kind, Kind::kNoTxn);
+  EXPECT_EQ(Sentinels::pending()->kind, Kind::kPending);
+}
+
+TEST(NodeLayout, ANodeExactSizes) {
+  // Narrow node: header + 4 slots; wide: header + 16 slots.
+  EXPECT_EQ(ANode::alloc_size(4), sizeof(ANode) + 4 * sizeof(void*));
+  EXPECT_EQ(ANode::alloc_size(16), sizeof(ANode) + 16 * sizeof(void*));
+  // The header must stay lean — the paper's footprint story depends on it.
+  EXPECT_LE(sizeof(ANode), 8u);
+}
+
+TEST(NodeLayout, ANodeSlotsZeroInitializedAndAligned) {
+  ANode* a = ANode::make(16);
+  EXPECT_EQ(a->kind, Kind::kANode);
+  EXPECT_EQ(a->length, 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a->slots()[i].load(), nullptr);
+  }
+  const auto addr = reinterpret_cast<std::uintptr_t>(a->slots());
+  EXPECT_EQ(addr % alignof(std::atomic<NodeBase*>), 0u);
+  // Slots start immediately after the header (no padding holes).
+  EXPECT_EQ(addr, reinterpret_cast<std::uintptr_t>(a) + sizeof(ANode));
+  ANode::destroy(a);
+}
+
+TEST(NodeLayout, SNodeCarriesPairAndIdleTxn) {
+  auto* s = SNode<int, int>::make(0xABCDull, 7, 70);
+  EXPECT_EQ(s->kind, Kind::kSNode);
+  EXPECT_EQ(s->hash, 0xABCDull);
+  EXPECT_EQ(s->key, 7);
+  EXPECT_EQ(s->value, 70);
+  EXPECT_EQ(s->txn.load(), Sentinels::no_txn());
+  delete s;
+}
+
+TEST(NodeLayout, ENodeStartsPending) {
+  ANode* parent = ANode::make(16);
+  ANode* target = ANode::make(4);
+  ENode* e = ENode::make(parent, 3, target, 0x123ull, 8, false);
+  EXPECT_EQ(e->kind, Kind::kENode);
+  EXPECT_EQ(e->parent, parent);
+  EXPECT_EQ(e->parentpos, 3u);
+  EXPECT_EQ(e->target, target);
+  EXPECT_EQ(e->level, 8u);
+  EXPECT_FALSE(e->compress);
+  EXPECT_EQ(e->result.load(), Sentinels::pending());
+  delete e;
+  ANode::destroy(target);
+  ANode::destroy(parent);
+}
+
+TEST(NodeLayout, LNodeChainLinks) {
+  auto* l1 = LNode<int, int>::make(5, 1, 10, nullptr);
+  auto* l2 = LNode<int, int>::make(5, 2, 20, l1);
+  EXPECT_EQ(l2->next, l1);
+  EXPECT_EQ(l2->hash, l1->hash);
+  delete l2;
+  delete l1;
+}
+
+TEST(CacheLayout, EntryCountAndIndexing) {
+  CacheArray* c = CacheArray::make(8, 4, nullptr);
+  EXPECT_EQ(c->level, 8u);
+  EXPECT_EQ(c->entry_count(), 256u);
+  EXPECT_EQ(c->index_of(0xABCDEFull), 0xEFull);  // low 8 bits
+  EXPECT_EQ(c->index_of(0x100ull), 0x00ull);
+  CacheArray::destroy(c);
+}
+
+TEST(CacheLayout, MissCountersOnDistinctCacheLines) {
+  CacheArray* c = CacheArray::make(8, 4, nullptr);
+  const auto a0 = reinterpret_cast<std::uintptr_t>(&c->misses()[0]);
+  const auto a1 = reinterpret_cast<std::uintptr_t>(&c->misses()[1]);
+  EXPECT_GE(a1 - a0, cachetrie::util::kCacheLineSize);
+  EXPECT_EQ(a0 % cachetrie::util::kCacheLineSize, 0u);
+  CacheArray::destroy(c);
+}
+
+TEST(CacheLayout, EntriesZeroInitialized) {
+  CacheArray* c = CacheArray::make(12, 2, nullptr);
+  for (std::size_t i = 0; i < c->entry_count(); i += 97) {
+    EXPECT_EQ(c->entries()[i].load(), nullptr);
+  }
+  CacheArray::destroy(c);
+}
+
+TEST(CacheLayout, ParentChainAndFootprint) {
+  CacheArray* p = CacheArray::make(8, 2, nullptr);
+  CacheArray* c = CacheArray::make(12, 2, p);
+  EXPECT_EQ(c->parent, p);
+  EXPECT_GT(c->footprint_bytes(), p->footprint_bytes());
+  EXPECT_GE(c->footprint_bytes(),
+            (std::size_t{1} << 12) * sizeof(void*));
+  CacheArray::destroy(c);
+  CacheArray::destroy(p);
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// skiplist_test.cpp — functional, ordering and concurrency tests for the
+// lock-free skip list baseline.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "skiplist/skiplist.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using cachetrie::csl::ConcurrentSkipList;
+
+TEST(SkipList, EmptyLookups) {
+  ConcurrentSkipList<int, int> list;
+  EXPECT_FALSE(list.lookup(1).has_value());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.remove(1).has_value());
+}
+
+TEST(SkipList, InsertLookupRemove) {
+  ConcurrentSkipList<int, int> list;
+  EXPECT_TRUE(list.insert(5, 50));
+  EXPECT_TRUE(list.insert(3, 30));
+  EXPECT_TRUE(list.insert(7, 70));
+  EXPECT_FALSE(list.insert(5, 51));  // replace
+  EXPECT_EQ(list.lookup(5).value(), 51);
+  EXPECT_EQ(list.lookup(3).value(), 30);
+  auto removed = list.remove(3);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 30);
+  EXPECT_FALSE(list.contains(3));
+  EXPECT_EQ(list.size(), 2u);
+  auto issues = list.debug_validate();
+  EXPECT_TRUE(issues.empty()) << issues.front();
+}
+
+TEST(SkipList, PutIfAbsent) {
+  ConcurrentSkipList<int, int> list;
+  EXPECT_TRUE(list.put_if_absent(1, 10));
+  EXPECT_FALSE(list.put_if_absent(1, 11));
+  EXPECT_EQ(list.lookup(1).value(), 10);
+}
+
+TEST(SkipList, ManyKeysSortedTraversal) {
+  ConcurrentSkipList<int, int> list;
+  constexpr int kN = 50000;
+  // Insert in a scrambled order; traversal must come out sorted.
+  for (int i = 0; i < kN; ++i) {
+    const int key = static_cast<int>((static_cast<std::uint64_t>(i) * 48271) %
+                                     kN);
+    list.insert(key, key);
+  }
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(kN));
+  int prev = -1;
+  list.for_each([&](const int& k, const int&) {
+    EXPECT_GT(k, prev);
+    prev = k;
+  });
+  auto issues = list.debug_validate();
+  EXPECT_TRUE(issues.empty()) << issues.front();
+}
+
+TEST(SkipList, RemoveAll) {
+  ConcurrentSkipList<int, int> list;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) list.insert(i, i);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(list.remove(i).has_value()) << i;
+  }
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_LT(list.footprint_bytes(), 2048u);
+}
+
+TEST(SkipList, MixedChurnMatchesReference) {
+  ConcurrentSkipList<std::uint64_t, std::uint64_t> list;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  cachetrie::util::XorShift64Star rng{99};
+  for (int step = 0; step < 100000; ++step) {
+    const std::uint64_t key = rng.next_below(3000);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        ASSERT_EQ(list.insert(key, step), ref.find(key) == ref.end());
+        ref[key] = static_cast<std::uint64_t>(step);
+        break;
+      }
+      case 2: {
+        const auto got = list.lookup(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got.has_value(), it != ref.end()) << key;
+        if (got.has_value()) {
+          ASSERT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 3: {
+        ASSERT_EQ(list.remove(key).has_value(), ref.erase(key) == 1);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(list.size(), ref.size());
+  auto issues = list.debug_validate();
+  EXPECT_TRUE(issues.empty()) << issues.front();
+}
+
+TEST(SkipListConcurrent, DisjointInserts) {
+  ConcurrentSkipList<int, int> list;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::barrier start{kThreads};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(list.insert(t * kPerThread + i, i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (int k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_TRUE(list.contains(k)) << k;
+  }
+  auto issues = list.debug_validate();
+  EXPECT_TRUE(issues.empty()) << issues.front();
+}
+
+TEST(SkipListConcurrent, ContendedRemoveOneWinner) {
+  ConcurrentSkipList<int, int> list;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 5000;
+  for (int k = 0; k < kKeys; ++k) list.insert(k, k);
+  std::atomic<int> removed{0};
+  std::barrier start{kThreads};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      int local = 0;
+      for (int k = 0; k < kKeys; ++k) {
+        if (list.remove(k).has_value()) ++local;
+      }
+      removed.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(removed.load(), kKeys);
+  EXPECT_EQ(list.size(), 0u);
+  auto issues = list.debug_validate();
+  EXPECT_TRUE(issues.empty()) << issues.front();
+}
+
+TEST(SkipListConcurrent, InsertRemoveChurnWithOwnership) {
+  ConcurrentSkipList<int, int> list;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  constexpr int kOps = 30000;
+  std::vector<std::vector<bool>> present(kThreads,
+                                         std::vector<bool>(kPerThread));
+  std::barrier start{kThreads};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      cachetrie::util::XorShift64Star rng{static_cast<std::uint64_t>(t) + 3};
+      auto& mine = present[t];
+      for (int op = 0; op < kOps; ++op) {
+        const int idx = static_cast<int>(rng.next_below(kPerThread));
+        const int key = t * kPerThread + idx;
+        if (rng.next_below(2) == 0) {
+          ASSERT_EQ(list.insert(key, key), !mine[idx]);
+          mine[idx] = true;
+        } else {
+          ASSERT_EQ(list.remove(key).has_value(), mine[idx]);
+          mine[idx] = false;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_EQ(list.contains(t * kPerThread + i), present[t][i]);
+    }
+  }
+  auto issues = list.debug_validate();
+  EXPECT_TRUE(issues.empty()) << issues.front();
+}
+
+TEST(SkipListConcurrent, ReadersNeverSeeRemovedLowerHalf) {
+  ConcurrentSkipList<int, int> list;
+  constexpr int kKeys = 20000;
+  for (int k = 0; k < kKeys; ++k) list.insert(k, k);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> anomalies{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      cachetrie::util::XorShift64Star rng{static_cast<std::uint64_t>(r) + 11};
+      while (!stop.load(std::memory_order_acquire)) {
+        const int k = static_cast<int>(rng.next_below(kKeys / 2));
+        if (!list.lookup(k).has_value()) anomalies.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < 10; ++round) {
+      for (int k = kKeys / 2; k < kKeys; ++k) list.remove(k);
+      for (int k = kKeys / 2; k < kKeys; ++k) list.insert(k, round);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(anomalies.load(), 0u);
+}
+
+}  // namespace

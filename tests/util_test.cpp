@@ -1,0 +1,163 @@
+// util_test.cpp — unit tests for the utility substrate: bit tricks, hash
+// mixers (avalanche sanity), RNG streams, padding, thread ids.
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/hashing.hpp"
+#include "util/padded.hpp"
+#include "util/rng.hpp"
+#include "util/thread_id.hpp"
+
+namespace {
+
+using namespace cachetrie::util;
+
+TEST(Bits, CountTrailingZeros) {
+  EXPECT_EQ(count_trailing_zeros(1u), 0);
+  EXPECT_EQ(count_trailing_zeros(2u), 1);
+  EXPECT_EQ(count_trailing_zeros(256u), 8);
+  EXPECT_EQ(count_trailing_zeros(std::uint64_t{1} << 40), 40);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Hashing, Mix64IsInjectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    outputs.insert(mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 100000u);
+}
+
+// Avalanche sanity: flipping one input bit should flip roughly half of the
+// output bits, on average. We accept a generous [24, 40] band out of 64.
+TEST(Hashing, Mix64Avalanche) {
+  SplitMix64 seed_gen{42};
+  double total_flips = 0;
+  int trials = 0;
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t x = seed_gen.next();
+    for (int bit = 0; bit < 64; bit += 7) {
+      const std::uint64_t y = x ^ (std::uint64_t{1} << bit);
+      total_flips += std::bitset<64>(mix64(x) ^ mix64(y)).count();
+      ++trials;
+    }
+  }
+  const double avg = total_flips / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hashing, Fmix64Avalanche) {
+  SplitMix64 seed_gen{7};
+  double total_flips = 0;
+  int trials = 0;
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t x = seed_gen.next();
+    for (int bit = 0; bit < 64; bit += 7) {
+      const std::uint64_t y = x ^ (std::uint64_t{1} << bit);
+      total_flips += std::bitset<64>(fmix64(x) ^ fmix64(y)).count();
+      ++trials;
+    }
+  }
+  const double avg = total_flips / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hashing, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(fnv1a("hello"), fnv1a("world"));
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hashing, DefaultHashStringsDiffer) {
+  DefaultHash<std::string> h;
+  EXPECT_NE(h("alpha"), h("beta"));
+}
+
+TEST(Hashing, DegradedHashLimitsEntropy) {
+  DegradedHash<4> h4;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(h4(i), 16u);
+  }
+  DegradedHash<0> h0;
+  EXPECT_EQ(h0(1), 0u);
+  EXPECT_EQ(h0(999), 0u);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a{1}, b{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XorShiftNonZeroAndSpread) {
+  XorShift64Star rng{99};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next();
+    EXPECT_NE(v, 0u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  XorShift64Star rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(37), 37u);
+  }
+}
+
+TEST(Rng, ThreadRngsAreIndependentStreams) {
+  std::uint64_t main_val = thread_rng().next();
+  std::uint64_t worker_val = 0;
+  std::thread t([&] { worker_val = thread_rng().next(); });
+  t.join();
+  EXPECT_NE(main_val, worker_val);
+}
+
+TEST(Padded, CounterOccupiesFullCacheLine) {
+  EXPECT_GE(sizeof(PaddedCounter), kCacheLineSize);
+  PaddedCounter counters[2];
+  const auto a = reinterpret_cast<std::uintptr_t>(&counters[0]);
+  const auto b = reinterpret_cast<std::uintptr_t>(&counters[1]);
+  EXPECT_GE(b - a, kCacheLineSize);
+}
+
+TEST(ThreadId, StableWithinThreadDistinctAcross) {
+  const std::uint32_t id0 = current_thread_id();
+  EXPECT_EQ(current_thread_id(), id0);
+  std::uint32_t worker_id = id0;
+  std::thread t([&] { worker_id = current_thread_id(); });
+  t.join();
+  EXPECT_NE(worker_id, id0);
+}
+
+}  // namespace
