@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mixed"
+  "../bench/ablation_mixed.pdb"
+  "CMakeFiles/ablation_mixed.dir/ablation_mixed.cpp.o"
+  "CMakeFiles/ablation_mixed.dir/ablation_mixed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

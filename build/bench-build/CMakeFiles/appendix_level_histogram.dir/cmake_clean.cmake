@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/appendix_level_histogram"
+  "../bench/appendix_level_histogram.pdb"
+  "CMakeFiles/appendix_level_histogram.dir/appendix_level_histogram.cpp.o"
+  "CMakeFiles/appendix_level_histogram.dir/appendix_level_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_level_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_footprint"
+  "../bench/fig09_footprint.pdb"
+  "CMakeFiles/fig09_footprint.dir/fig09_footprint.cpp.o"
+  "CMakeFiles/fig09_footprint.dir/fig09_footprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_single_thread"
+  "../bench/fig10_single_thread.pdb"
+  "CMakeFiles/fig10_single_thread.dir/fig10_single_thread.cpp.o"
+  "CMakeFiles/fig10_single_thread.dir/fig10_single_thread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_insert_high_contention"
+  "../bench/fig11_insert_high_contention.pdb"
+  "CMakeFiles/fig11_insert_high_contention.dir/fig11_insert_high_contention.cpp.o"
+  "CMakeFiles/fig11_insert_high_contention.dir/fig11_insert_high_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_insert_high_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

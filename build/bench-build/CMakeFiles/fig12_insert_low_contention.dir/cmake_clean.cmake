@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_insert_low_contention"
+  "../bench/fig12_insert_low_contention.pdb"
+  "CMakeFiles/fig12_insert_low_contention.dir/fig12_insert_low_contention.cpp.o"
+  "CMakeFiles/fig12_insert_low_contention.dir/fig12_insert_low_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_insert_low_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_parallel_lookup"
+  "../bench/fig13_parallel_lookup.pdb"
+  "CMakeFiles/fig13_parallel_lookup.dir/fig13_parallel_lookup.cpp.o"
+  "CMakeFiles/fig13_parallel_lookup.dir/fig13_parallel_lookup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_parallel_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabling_memo.dir/tabling_memo.cpp.o"
+  "CMakeFiles/tabling_memo.dir/tabling_memo.cpp.o.d"
+  "tabling_memo"
+  "tabling_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabling_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

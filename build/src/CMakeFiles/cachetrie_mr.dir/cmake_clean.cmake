@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetrie_mr.dir/mr/epoch.cpp.o"
+  "CMakeFiles/cachetrie_mr.dir/mr/epoch.cpp.o.d"
+  "CMakeFiles/cachetrie_mr.dir/mr/hazard.cpp.o"
+  "CMakeFiles/cachetrie_mr.dir/mr/hazard.cpp.o.d"
+  "libcachetrie_mr.a"
+  "libcachetrie_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetrie_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcachetrie_mr.a"
+)

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_behavior_test.dir/cache_behavior_test.cpp.o"
+  "CMakeFiles/cache_behavior_test.dir/cache_behavior_test.cpp.o.d"
+  "CMakeFiles/cache_behavior_test.dir/test_main.cpp.o"
+  "CMakeFiles/cache_behavior_test.dir/test_main.cpp.o.d"
+  "cache_behavior_test"
+  "cache_behavior_test.pdb"
+  "cache_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

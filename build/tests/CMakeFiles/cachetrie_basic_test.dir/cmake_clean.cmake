@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetrie_basic_test.dir/cachetrie_basic_test.cpp.o"
+  "CMakeFiles/cachetrie_basic_test.dir/cachetrie_basic_test.cpp.o.d"
+  "CMakeFiles/cachetrie_basic_test.dir/test_main.cpp.o"
+  "CMakeFiles/cachetrie_basic_test.dir/test_main.cpp.o.d"
+  "cachetrie_basic_test"
+  "cachetrie_basic_test.pdb"
+  "cachetrie_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetrie_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetrie_concurrent_test.dir/cachetrie_concurrent_test.cpp.o"
+  "CMakeFiles/cachetrie_concurrent_test.dir/cachetrie_concurrent_test.cpp.o.d"
+  "CMakeFiles/cachetrie_concurrent_test.dir/test_main.cpp.o"
+  "CMakeFiles/cachetrie_concurrent_test.dir/test_main.cpp.o.d"
+  "cachetrie_concurrent_test"
+  "cachetrie_concurrent_test.pdb"
+  "cachetrie_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetrie_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

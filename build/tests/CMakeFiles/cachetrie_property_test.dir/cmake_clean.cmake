@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetrie_property_test.dir/cachetrie_property_test.cpp.o"
+  "CMakeFiles/cachetrie_property_test.dir/cachetrie_property_test.cpp.o.d"
+  "CMakeFiles/cachetrie_property_test.dir/test_main.cpp.o"
+  "CMakeFiles/cachetrie_property_test.dir/test_main.cpp.o.d"
+  "cachetrie_property_test"
+  "cachetrie_property_test.pdb"
+  "cachetrie_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetrie_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chashmap_test.dir/chashmap_test.cpp.o"
+  "CMakeFiles/chashmap_test.dir/chashmap_test.cpp.o.d"
+  "CMakeFiles/chashmap_test.dir/test_main.cpp.o"
+  "CMakeFiles/chashmap_test.dir/test_main.cpp.o.d"
+  "chashmap_test"
+  "chashmap_test.pdb"
+  "chashmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chashmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depth_distribution_test.dir/depth_distribution_test.cpp.o"
+  "CMakeFiles/depth_distribution_test.dir/depth_distribution_test.cpp.o.d"
+  "CMakeFiles/depth_distribution_test.dir/test_main.cpp.o"
+  "CMakeFiles/depth_distribution_test.dir/test_main.cpp.o.d"
+  "depth_distribution_test"
+  "depth_distribution_test.pdb"
+  "depth_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodes_layout_test.dir/nodes_layout_test.cpp.o"
+  "CMakeFiles/nodes_layout_test.dir/nodes_layout_test.cpp.o.d"
+  "CMakeFiles/nodes_layout_test.dir/test_main.cpp.o"
+  "CMakeFiles/nodes_layout_test.dir/test_main.cpp.o.d"
+  "nodes_layout_test"
+  "nodes_layout_test.pdb"
+  "nodes_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodes_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclamation_discipline_test.dir/reclamation_discipline_test.cpp.o"
+  "CMakeFiles/reclamation_discipline_test.dir/reclamation_discipline_test.cpp.o.d"
+  "CMakeFiles/reclamation_discipline_test.dir/test_main.cpp.o"
+  "CMakeFiles/reclamation_discipline_test.dir/test_main.cpp.o.d"
+  "reclamation_discipline_test"
+  "reclamation_discipline_test.pdb"
+  "reclamation_discipline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclamation_discipline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

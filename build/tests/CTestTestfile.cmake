@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/epoch_test[1]_include.cmake")
+include("/root/repo/build/tests/hazard_test[1]_include.cmake")
+include("/root/repo/build/tests/cachetrie_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/cachetrie_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/ctrie_test[1]_include.cmake")
+include("/root/repo/build/tests/chashmap_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/depth_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/cachetrie_property_test[1]_include.cmake")
+include("/root/repo/build/tests/reclamation_discipline_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/nodes_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
