@@ -50,6 +50,7 @@
 #include "cachetrie/nodes.hpp"
 #include "cachetrie/stats.hpp"
 #include "mr/epoch.hpp"
+#include "testkit/chaos.hpp"
 #include "util/hashing.hpp"
 #include "util/rng.hpp"
 #include "util/thread_id.hpp"
@@ -445,10 +446,14 @@ class CacheTrie {
           return Res::kExists;
         }
         SNodeT* sn = SNodeT::make(h, key, value);
+        testkit::chaos_point("cachetrie.txn_announce");
         NodeBase* expected = Sentinels::no_txn();
         if (osn->txn.compare_exchange_strong(expected, sn,
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
+          // The window between the txn announcement and the slot commit is
+          // where helpers race the winner (§3.3's two-CAS protocol).
+          testkit::chaos_point("cachetrie.txn_commit");
           NodeBase* eo = osn;
           slot.compare_exchange_strong(eo, sn, std::memory_order_acq_rel,
                                        std::memory_order_acquire);
@@ -471,6 +476,7 @@ class CacheTrie {
         const std::uint32_t ppos = slot_index(h, lev - 4, prev->length);
         ENode* en =
             ENode::make(prev, ppos, cur, h, lev, /*compress=*/false);
+        testkit::chaos_point("cachetrie.expand_announce");
         NodeBase* expected = cur;
         if (prev->slots()[ppos].compare_exchange_strong(
                 expected, en, std::memory_order_acq_rel,
@@ -494,10 +500,12 @@ class CacheTrie {
       // holds a fresh copy of osn's pair plus the new pair, and commit it
       // through osn's txn.
       NodeBase* subtree = create_subtree(osn, h, key, value, lev + 4);
+      testkit::chaos_point("cachetrie.txn_announce");
       NodeBase* expected = Sentinels::no_txn();
       if (osn->txn.compare_exchange_strong(expected, subtree,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
+        testkit::chaos_point("cachetrie.txn_commit");
         NodeBase* eo = osn;
         slot.compare_exchange_strong(eo, subtree, std::memory_order_acq_rel,
                                      std::memory_order_acquire);
@@ -703,10 +711,12 @@ class CacheTrie {
             }
             // Announce removal by publishing nullptr in txn (invalidates
             // cache entries), then commit null into the slot.
+            testkit::chaos_point("cachetrie.txn_announce");
             NodeBase* expected = Sentinels::no_txn();
             if (osn->txn.compare_exchange_strong(expected, nullptr,
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_acquire)) {
+              testkit::chaos_point("cachetrie.txn_commit");
               NodeBase* eo = osn;
               slot.compare_exchange_strong(eo, nullptr,
                                            std::memory_order_acq_rel,
@@ -807,6 +817,7 @@ class CacheTrie {
     if (!empty && !singleton) return;
     ENode* en = ENode::make(prev, slot_index(h, lev - 4, prev->length), cur,
                             h, lev, /*compress=*/true);
+    testkit::chaos_point("cachetrie.compress_announce");
     NodeBase* expected = cur;
     if (prev->slots()[en->parentpos].compare_exchange_strong(
             expected, en, std::memory_order_acq_rel,
@@ -826,6 +837,9 @@ class CacheTrie {
   void freeze(ANode* cur) {
     std::uint32_t i = 0;
     while (i < cur->length) {
+      // Freezing races other freezers slot-by-slot and pending txns get
+      // committed mid-freeze; perturb every slot visit.
+      testkit::chaos_point("cachetrie.freeze_slot");
       auto& slot = cur->slots()[i];
       NodeBase* node = slot.load(std::memory_order_acquire);
       if (node == nullptr) {
@@ -900,6 +914,7 @@ class CacheTrie {
   /// and commit it into the parent slot. The unique winner of the parent
   /// CAS retires the announcement and the frozen originals.
   void complete_enode(ENode* en) {
+    testkit::chaos_point("cachetrie.enode_complete");
     freeze(en->target);
     NodeBase* replacement;
     if (en->compress) {
@@ -909,6 +924,7 @@ class CacheTrie {
       expand_copy(en->target, wide, en->level);
       replacement = wide;
     }
+    testkit::chaos_point("cachetrie.enode_publish");
     NodeBase* expected = Sentinels::pending();
     if (!en->result.compare_exchange_strong(expected, replacement,
                                             std::memory_order_acq_rel,
@@ -916,6 +932,7 @@ class CacheTrie {
       destroy_subtree_value(replacement);  // lost the build race
     }
     NodeBase* committed = en->result.load(std::memory_order_acquire);
+    testkit::chaos_point("cachetrie.enode_commit");
     NodeBase* expected_en = en;
     if (en->parent->slots()[en->parentpos].compare_exchange_strong(
             expected_en, committed, std::memory_order_acq_rel,

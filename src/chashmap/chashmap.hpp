@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "mr/epoch.hpp"
+#include "testkit/chaos.hpp"
 #include "util/hashing.hpp"
 #include "util/padded.hpp"
 #include "util/spinwait.hpp"
@@ -258,6 +259,7 @@ class ConcurrentHashMap {
     Table* t;
     std::size_t bi;
     BinLock(Table* table, std::size_t bin) : t(table), bi(bin) {
+      testkit::chaos_point("chm.bin_lock");
       util::Backoff backoff;
       auto& lk = t->locks()[bi];
       std::uint8_t expected = 0;
@@ -267,6 +269,9 @@ class ConcurrentHashMap {
         expected = 0;
         backoff.pause();
       }
+      // Holding the lock: stretch the critical section so lock-free
+      // readers and empty-bin CASers overlap it.
+      testkit::chaos_point("chm.bin_locked");
     }
     ~BinLock() { t->locks()[bi].store(0, std::memory_order_release); }
   };
@@ -282,6 +287,7 @@ class ConcurrentHashMap {
       if (head == nullptr) {
         // Lock-free fast path: CAS into the empty bin.
         Node* fresh = Node::make(h, key, value, nullptr);
+        testkit::chaos_point("chm.bin_cas");
         Node* expected = nullptr;
         if (bin.compare_exchange_strong(expected, fresh,
                                         std::memory_order_acq_rel,
@@ -359,6 +365,7 @@ class ConcurrentHashMap {
   void help_transfer(Table* t) { start_or_help_transfer(t); }
 
   void start_or_help_transfer(Table* t) {
+    testkit::chaos_point("chm.transfer_help");
     if (table_.load(std::memory_order_acquire) != t) return;  // superseded
     Table* next = t->next.load(std::memory_order_acquire);
     if (next == nullptr) {
@@ -397,6 +404,7 @@ class ConcurrentHashMap {
               (end - start) ==
           t->nbins) {
         // Last transferrer publishes the new table and retires the old.
+        testkit::chaos_point("chm.table_publish");
         Table* expected = t;
         if (table_.compare_exchange_strong(expected, next,
                                            std::memory_order_acq_rel,
@@ -458,6 +466,7 @@ class ConcurrentHashMap {
       // Plant via CAS on the walked head: the bin lock excludes chain
       // writers, but an empty-bin insert CASes without the lock and could
       // slip in after the walk — a plain exchange would silently drop it.
+      testkit::chaos_point("chm.transfer_plant");
       Node* expected = head;
       if (t->bins()[bi].compare_exchange_strong(expected, &fwd->node,
                                                 std::memory_order_acq_rel,

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "mr/epoch.hpp"
+#include "testkit/chaos.hpp"
 #include "util/bits.hpp"
 #include "util/hashing.hpp"
 
@@ -527,6 +528,9 @@ class Ctrie {
   // --- contraction (clean / cleanParent) -------------------------------------
 
   bool cas_main(INode* i, Base* expected, Base* desired) {
+    // The GCAS stand-in: every structural replacement funnels through this
+    // single INode.main CAS, so one chaos point covers them all.
+    testkit::chaos_point("ctrie.gcas");
     Base* e = expected;
     if (i->main.compare_exchange_strong(e, desired,
                                         std::memory_order_acq_rel,
@@ -615,6 +619,7 @@ class Ctrie {
       ncn = nullptr;
     }
 
+    testkit::chaos_point("ctrie.clean_commit");
     Base* expected = cn;
     if (i->main.compare_exchange_strong(expected, desired,
                                         std::memory_order_acq_rel,
@@ -667,6 +672,7 @@ class Ctrie {
         SNodeT::make(tn->sn->hash, tn->sn->key, tn->sn->value);
     CNode* ncn = cn->updated(pos, resurrected);
     Base* contracted = to_contracted(ncn, lev);
+    testkit::chaos_point("ctrie.clean_parent");
     Base* e = cn;
     if (parent->main.compare_exchange_strong(e, contracted,
                                              std::memory_order_acq_rel,

@@ -4,9 +4,13 @@
 //
 // Algorithm: the Herlihy–Shavit LockFreeSkipList (The Art of Multiprocessor
 // Programming, ch. 14; after Fraser 2004): per-level next pointers carry a
-// mark bit (tagged pointer); removal marks a node bottom-up-last (the
-// bottom-level mark is the linearization point), and find() physically
-// snips marked nodes at every level it traverses.
+// mark bit (tagged pointer); removal marks a node top-down with the bottom
+// level last (in the book the bottom-level mark is the linearization
+// point; here that moved into the vsync dead bit, see below), and find()
+// physically snips marked nodes at every level it traverses. Marking —
+// whether by the remover or a helper — always covers every level, bottom
+// last, preserving the invariant "bottom-marked implies marked everywhere
+// above" (see help_mark for why partial helping is unsound).
 //
 // Two departures from the book, both forced by manual memory reclamation
 // (the book assumes GC):
@@ -19,7 +23,14 @@
 //     period.
 //   * Values are stored in a std::atomic<V> (V must be trivially copyable)
 //     so upserts can update in place, mirroring the JDK's volatile value
-//     reference.
+//     reference. Because the mark bit and the value live in different
+//     words, a per-node `vsync` word serializes in-place writes against
+//     logical removal: writers claim it (odd count), removers set a dead
+//     bit and wait out any active writer before reading the value they
+//     return. Without this handshake a remover can return a value whose
+//     upsert then retries and reports "new" — a non-linearizable pair (the
+//     testkit's history checker finds this in seconds; see DESIGN.md
+//     "Testing the protocols").
 //
 // Keys must be totally ordered (std::less), like ConcurrentSkipListMap's.
 #pragma once
@@ -35,7 +46,9 @@
 #include <vector>
 
 #include "mr/epoch.hpp"
+#include "testkit/chaos.hpp"
 #include "util/rng.hpp"
+#include "util/spinwait.hpp"
 
 namespace cachetrie::csl {
 
@@ -49,9 +62,16 @@ class ConcurrentSkipList {
   static constexpr int kMaxLevel = 24;  // supports ~16M keys at p=1/2
 
  private:
+  // vsync bits: bit 63 = logically removed (the removal's linearization
+  // point); low bits = writer claim counter, odd while an in-place value
+  // update is in flight.
+  static constexpr std::uint64_t kDead = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kWriter = 1;
+
   struct Node {
     K key;
     std::atomic<V> value;
+    std::atomic<std::uint64_t> vsync;
     int top_level;  // highest level this node is linked at (0-based)
     bool is_head;
 
@@ -71,7 +91,7 @@ class ConcurrentSkipList {
     static Node* make(const K& key, const V& value, int top_level,
                       bool is_head = false) {
       void* raw = ::operator new(alloc_size(top_level));
-      auto* n = new (raw) Node{key, {}, top_level, is_head};
+      auto* n = new (raw) Node{key, {}, {}, top_level, is_head};
       n->value.store(value, std::memory_order_relaxed);
       for (int i = 0; i <= top_level; ++i) {
         std::construct_at(n->next() + i, std::uintptr_t{0});
@@ -119,11 +139,11 @@ class ConcurrentSkipList {
     while (true) {
       if (find(key, preds, succs)) {
         Node* found = succs[0];
-        // In-place value update, then re-check the removal mark: a remover
-        // that marked before our store returns *its* observed value, so a
-        // post-store mark means our update may be lost — redo the insert.
-        found->value.store(value, std::memory_order_seq_cst);
-        if (marked(found->next()[0].load(std::memory_order_seq_cst))) {
+        if (!write_in_place(found, value)) {
+          // Logically dead: the remover linearized before us. Help the
+          // physical marks along so our retry's find() snips the corpse,
+          // then insert a fresh node.
+          help_mark(found);
           continue;
         }
         return false;
@@ -136,6 +156,7 @@ class ConcurrentSkipList {
                              std::memory_order_relaxed);
       }
       std::uintptr_t expected = pack(succs[0], false);
+      testkit::chaos_point("csl.link_bottom");
       if (!head_level_cas(preds[0], 0, expected, pack(n, false))) {
         Node::destroy(n);  // never published
         continue;
@@ -150,7 +171,15 @@ class ConcurrentSkipList {
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     while (true) {
-      if (find(key, preds, succs)) return false;
+      if (find(key, preds, succs)) {
+        if (succs[0]->vsync.load(std::memory_order_seq_cst) & kDead) {
+          // Found only the corpse of a concurrent removal: from our view
+          // the key is absent, so behave like the not-found path would.
+          help_mark(succs[0]);
+          continue;
+        }
+        return false;
+      }
       const int top = random_level();
       Node* n = Node::make(key, value, top);
       for (int lev = 0; lev <= top; ++lev) {
@@ -158,6 +187,7 @@ class ConcurrentSkipList {
                              std::memory_order_relaxed);
       }
       std::uintptr_t expected = pack(succs[0], false);
+      testkit::chaos_point("csl.link_bottom");
       if (!head_level_cas(preds[0], 0, expected, pack(n, false))) {
         Node::destroy(n);
         continue;
@@ -169,29 +199,41 @@ class ConcurrentSkipList {
 
   std::optional<V> lookup(const K& key) const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
-    // Wait-free-ish traversal: never snips, never restarts.
+    // Wait-free traversal (Herlihy–Shavit contains): never snips, never
+    // restarts, but also never trusts a marked node — corpses are skipped
+    // via their (frozen) forward pointer and never become `pred`, because a
+    // marked node's pointers are stale: descending through one can step
+    // over nodes inserted after it was unlinked and report a false absent.
     const Node* pred = head_;
+    const Node* curr = nullptr;
     for (int lev = kMaxLevel - 1; lev >= 0; --lev) {
-      const Node* curr = ptr_of(pred->next()[lev].load(std::memory_order_acquire));
+      curr = ptr_of(pred->next()[lev].load(std::memory_order_seq_cst));
       while (curr != nullptr) {
-        const std::uintptr_t succ_t =
-            curr->next()[lev].load(std::memory_order_acquire);
+        std::uintptr_t succ_t =
+            curr->next()[lev].load(std::memory_order_seq_cst);
+        while (marked(succ_t)) {  // skip corpses without adopting them
+          curr = ptr_of(succ_t);
+          if (curr == nullptr) break;
+          succ_t = curr->next()[lev].load(std::memory_order_seq_cst);
+        }
+        if (curr == nullptr) break;
         if (less_(curr->key, key)) {
           pred = curr;
           curr = ptr_of(succ_t);
-          continue;
+        } else {
+          break;
         }
-        if (!less_(key, curr->key)) {  // equal
-          // A marked bottom pointer means logically removed.
-          if (marked(curr->next()[0].load(std::memory_order_acquire))) {
-            return std::nullopt;
-          }
-          return curr->value.load(std::memory_order_acquire);
-        }
-        break;  // curr->key > key: descend a level
       }
     }
-    return std::nullopt;
+    if (curr == nullptr || less_(key, curr->key) || less_(curr->key, key)) {
+      return std::nullopt;
+    }
+    // Unmarked when scanned; the dead bit catches removals whose physical
+    // mark hasn't landed yet.
+    if (curr->vsync.load(std::memory_order_seq_cst) & kDead) {
+      return std::nullopt;
+    }
+    return curr->value.load(std::memory_order_seq_cst);
   }
 
   bool contains(const K& key) const { return lookup(key).has_value(); }
@@ -202,32 +244,37 @@ class ConcurrentSkipList {
     Node* succs[kMaxLevel];
     if (!find(key, preds, succs)) return std::nullopt;
     Node* victim = succs[0];
-    // Mark the upper levels top-down (best effort; idempotent).
-    for (int lev = victim->top_level; lev >= 1; --lev) {
-      std::uintptr_t t = victim->next()[lev].load(std::memory_order_seq_cst);
-      while (!marked(t)) {
-        if (victim->next()[lev].compare_exchange_weak(
-                t, t | 1, std::memory_order_seq_cst)) {
-          break;
-        }
-      }
-    }
-    // Bottom-level mark is the linearization point; its winner owns the
-    // removal (and the retirement).
-    std::uintptr_t t = victim->next()[0].load(std::memory_order_seq_cst);
+    // Claim the logical removal through vsync: set the dead bit, waiting
+    // out any in-flight in-place writer first. Winning this CAS is the
+    // linearization point, and it makes the value we read below exact — no
+    // writer can start once the dead bit is up, and none was mid-store when
+    // it went up.
+    std::uint64_t s = victim->vsync.load(std::memory_order_seq_cst);
+    util::Backoff backoff;
     while (true) {
-      if (marked(t)) return std::nullopt;  // another remover won
-      if (victim->next()[0].compare_exchange_weak(
-              t, t | 1, std::memory_order_seq_cst)) {
-        const V out = victim->value.load(std::memory_order_seq_cst);
-        // Physically unlink everywhere, then retire: after this find() the
-        // node is unreachable (inserts that could have re-linked a marked
-        // successor re-run find themselves — see link_upper_levels).
-        find(key, preds, succs);
-        Reclaimer::retire_raw(victim, &Node::destroy_erased);
-        return out;
+      if (s & kDead) return std::nullopt;  // another remover won
+      if (s & kWriter) {  // writer active: back off until it releases
+        backoff.pause();
+        s = victim->vsync.load(std::memory_order_seq_cst);
+        continue;
+      }
+      testkit::chaos_point("csl.mark_bottom");
+      if (victim->vsync.compare_exchange_weak(s, s | kDead,
+                                              std::memory_order_seq_cst)) {
+        break;
       }
     }
+    const V out = victim->value.load(std::memory_order_seq_cst);
+    // Logically removed but not yet physically marked/unlinked — the window
+    // every traversal and racing insert must tolerate.
+    testkit::chaos_point("csl.unlink");
+    help_mark(victim);
+    // Physically unlink everywhere, then retire: after this find() the
+    // node is unreachable (inserts that could have re-linked a marked
+    // successor re-run find themselves — see link_upper_levels).
+    find(key, preds, succs);
+    Reclaimer::retire_raw(victim, &Node::destroy_erased);
+    return out;
   }
 
   std::size_t size() const {
@@ -303,6 +350,62 @@ class ConcurrentSkipList {
         expected, desired, std::memory_order_seq_cst);
   }
 
+  /// Serializes an in-place value update against logical removal: claim the
+  /// writer bit (odd vsync), store, release. Returns false iff the node is
+  /// dead — the remover linearized first and the caller must treat the key
+  /// as absent (insert a fresh node instead of resurrecting the corpse).
+  static bool write_in_place(Node* n, const V& value) {
+    std::uint64_t s = n->vsync.load(std::memory_order_seq_cst);
+    util::Backoff backoff;
+    while (true) {
+      if (s & kDead) return false;
+      if (s & kWriter) {  // another writer mid-store: back off until free
+        backoff.pause();
+        s = n->vsync.load(std::memory_order_seq_cst);
+        continue;
+      }
+      if (n->vsync.compare_exchange_weak(s, s + kWriter,
+                                         std::memory_order_seq_cst)) {
+        break;
+      }
+    }
+    n->value.store(value, std::memory_order_seq_cst);
+    n->vsync.store(s + 2, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Publishes the physical marks of a logically dead node at EVERY level,
+  /// top-down, so find() can snip it wherever it is linked. Idempotent;
+  /// called by the dead-bit winner and by any thread that trips over the
+  /// corpse. Marking must cover all levels and finish with the bottom:
+  /// helping only the bottom level leaves a window where the dead-bit
+  /// winner has stalled before its own upper marks, yet the corpse is
+  /// already bottom-marked — still reachable through the unmarked upper
+  /// levels, where descents adopt it as pred. Its bottom pointer is frozen
+  /// by the mark, so snip CASes against it fail forever (find() livelocks)
+  /// and lookups descending through it can step past nodes inserted after
+  /// the freeze and report a false absent. The top-down order restores the
+  /// invariant "bottom-marked implies marked everywhere above".
+  static void help_mark(Node* n) {
+    for (int lev = n->top_level; lev >= 1; --lev) {
+      testkit::chaos_point("csl.mark_upper");
+      std::uintptr_t t = n->next()[lev].load(std::memory_order_seq_cst);
+      while (!marked(t)) {
+        if (n->next()[lev].compare_exchange_weak(t, t | 1,
+                                                 std::memory_order_seq_cst)) {
+          break;
+        }
+      }
+    }
+    std::uintptr_t t = n->next()[0].load(std::memory_order_seq_cst);
+    while (!marked(t)) {
+      if (n->next()[0].compare_exchange_weak(t, t | 1,
+                                             std::memory_order_seq_cst)) {
+        break;
+      }
+    }
+  }
+
   /// Links levels 1..top of a freshly inserted node. The node's own next
   /// pointers are updated with CAS so a concurrent removal's mark is never
   /// overwritten; if the node got marked, linking stops (the remover's find
@@ -322,6 +425,7 @@ class ConcurrentSkipList {
           }
         }
         std::uintptr_t expected = pack(succs[lev], false);
+        testkit::chaos_point("csl.link_upper");
         if (preds[lev]->next()[lev].compare_exchange_strong(
                 expected, pack(n, false), std::memory_order_seq_cst)) {
           // Re-check for the resurrection race: if the successor we just

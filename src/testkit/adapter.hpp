@@ -1,0 +1,155 @@
+// adapter.hpp — one uniform map façade so a single workload generator and
+// checker drive all four structures (and the no-cache ablation).
+//
+// Every map in this repo speaks insert/lookup/remove over (uint64, uint64);
+// the conditional ops (put_if_absent, replace, replace_if_equals,
+// remove_if_equals) exist only on some. The adapter surfaces each optional
+// op behind a constexpr capability flag, so the workload generator emits
+// only ops the structure actually has — no emulation (an emulated op would
+// have its own linearization holes and the checker would be testing the
+// emulation, not the structure).
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace cachetrie::testkit {
+
+template <typename M>
+concept HasPutIfAbsent = requires(M m, std::uint64_t k, std::uint64_t v) {
+  { m.put_if_absent(k, v) } -> std::convertible_to<bool>;
+};
+
+template <typename M>
+concept HasReplace = requires(M m, std::uint64_t k, std::uint64_t v) {
+  { m.replace(k, v) } -> std::convertible_to<bool>;
+};
+
+template <typename M>
+concept HasReplaceIfEquals = requires(M m, std::uint64_t k, std::uint64_t v) {
+  { m.replace_if_equals(k, v, v) } -> std::convertible_to<bool>;
+};
+
+template <typename M>
+concept HasRemoveIfEquals = requires(M m, std::uint64_t k, std::uint64_t v) {
+  { m.remove_if_equals(k, v) } -> std::convertible_to<bool>;
+};
+
+template <typename M>
+class MapAdapter {
+ public:
+  static constexpr bool kHasPutIfAbsent = HasPutIfAbsent<M>;
+  static constexpr bool kHasReplace = HasReplace<M>;
+  static constexpr bool kHasReplaceIfEquals = HasReplaceIfEquals<M>;
+  static constexpr bool kHasRemoveIfEquals = HasRemoveIfEquals<M>;
+
+  template <typename... Args>
+  explicit MapAdapter(Args&&... args) : map_(std::forward<Args>(args)...) {}
+
+  bool insert(std::uint64_t k, std::uint64_t v) { return map_.insert(k, v); }
+
+  std::optional<std::uint64_t> lookup(std::uint64_t k) const {
+    return map_.lookup(k);
+  }
+
+  std::optional<std::uint64_t> remove(std::uint64_t k) {
+    return map_.remove(k);
+  }
+
+  bool put_if_absent(std::uint64_t k, std::uint64_t v)
+    requires HasPutIfAbsent<M>
+  {
+    return map_.put_if_absent(k, v);
+  }
+
+  bool replace(std::uint64_t k, std::uint64_t v)
+    requires HasReplace<M>
+  {
+    return map_.replace(k, v);
+  }
+
+  bool replace_if_equals(std::uint64_t k, std::uint64_t expected,
+                         std::uint64_t v)
+    requires HasReplaceIfEquals<M>
+  {
+    return map_.replace_if_equals(k, expected, v);
+  }
+
+  bool remove_if_equals(std::uint64_t k, std::uint64_t expected)
+    requires HasRemoveIfEquals<M>
+  {
+    return map_.remove_if_equals(k, expected);
+  }
+
+  M& underlying() noexcept { return map_; }
+  const M& underlying() const noexcept { return map_; }
+
+ private:
+  M map_;
+};
+
+/// Deliberately non-linearizable map — the mutation smoke test that proves
+/// the checker has teeth. Every mutation is a non-atomic read-modify-write
+/// with a forced reschedule inside the window, so two concurrent
+/// put_if_absent calls on a key can both report "inserted" and two
+/// concurrent removes can both claim the victim. All cells are atomics, so
+/// the breakage is purely protocol-level (no UB, no torn reads) — exactly
+/// the class of bug a botched CAS protocol would introduce and end-state
+/// assertions cannot see.
+class BrokenMap {
+ public:
+  explicit BrokenMap(std::size_t key_space = 1024)
+      : size_(key_space), slots_(new Slot[key_space]) {}
+
+  bool insert(std::uint64_t k, std::uint64_t v) {
+    Slot& s = at(k);
+    const bool was = s.present.load(std::memory_order_relaxed);
+    std::this_thread::yield();  // the "lost CAS" stand-in
+    s.value.store(v, std::memory_order_relaxed);
+    s.present.store(true, std::memory_order_relaxed);
+    return !was;
+  }
+
+  bool put_if_absent(std::uint64_t k, std::uint64_t v) {
+    Slot& s = at(k);
+    if (s.present.load(std::memory_order_relaxed)) return false;
+    std::this_thread::yield();
+    s.value.store(v, std::memory_order_relaxed);
+    s.present.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::optional<std::uint64_t> lookup(std::uint64_t k) const {
+    const Slot& s = at(k);
+    if (!s.present.load(std::memory_order_relaxed)) return std::nullopt;
+    return s.value.load(std::memory_order_relaxed);
+  }
+
+  std::optional<std::uint64_t> remove(std::uint64_t k) {
+    Slot& s = at(k);
+    if (!s.present.load(std::memory_order_relaxed)) return std::nullopt;
+    std::this_thread::yield();
+    const std::uint64_t v = s.value.load(std::memory_order_relaxed);
+    s.present.store(false, std::memory_order_relaxed);
+    return v;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> present{false};
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  Slot& at(std::uint64_t k) { return slots_[k % size_]; }
+  const Slot& at(std::uint64_t k) const { return slots_[k % size_]; }
+
+  std::size_t size_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace cachetrie::testkit

@@ -1,0 +1,221 @@
+// chaos.hpp — seeded schedule perturbation for the linearizability testkit.
+//
+// The multi-CAS protocols in this repo (the cache-trie's two-CAS txn commit
+// and freeze/ENode replacement, the ctrie's clean/cleanParent, the
+// chashmap's bin transfer, the skip list's mark/unlink) have decision
+// windows of a handful of instructions. Plain stress tests almost never
+// land a preemption inside them. A chaos point is a marker placed exactly
+// inside such a window; in testkit builds it injects a deterministic
+// pseudo-random yield or spin so those rare interleavings occur routinely,
+// and the whole schedule-perturbation stream is reproducible from a single
+// seed.
+//
+// Build modes
+//   * CACHETRIE_TESTKIT off (default, all release/bench builds):
+//     chaos_point() is a constexpr no-op — zero code, zero data, zero cost.
+//   * CACHETRIE_TESTKIT on (test binaries opt in per-target, or configure
+//     with -DCACHETRIE_TESTKIT=ON): each call advances a thread-local
+//     xorshift stream exactly once and derives a decision (nothing / yield /
+//     bounded spin) from the stream value mixed with the site's name hash.
+//
+// Determinism: the decision sequence of a thread is a pure function of
+// (global seed, bound thread index, call ordinal). It does not depend on
+// the OS schedule, so a failing seed replays the same perturbation stream
+// even though the actual interleaving the kernel picks may differ run to
+// run — in practice a protocol bug reachable under a seed's stream is
+// re-reachable within a few histories of the same seed (see
+// DESIGN.md "Testing the protocols").
+#pragma once
+
+#include <cstdint>
+
+#if defined(CACHETRIE_TESTKIT) && CACHETRIE_TESTKIT
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "util/thread_id.hpp"
+#endif
+
+namespace cachetrie::testkit {
+
+/// Compile-time FNV-1a of a site name. Folding the hash at compile time
+/// keeps instrumented builds cheap and gives each site a stable identity
+/// for the hit counters.
+constexpr std::uint64_t site_hash(const char* s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  while (*s != '\0') {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s++));
+    h *= 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
+namespace chaos {
+
+/// splitmix64 finalizer — shared by seeding and per-call decision mixing.
+constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Aggregate perturbation counters, readable from tests.
+struct Totals {
+  std::uint64_t points = 0;  // chaos points crossed while enabled
+  std::uint64_t yields = 0;
+  std::uint64_t spins = 0;
+};
+
+}  // namespace chaos
+
+#if defined(CACHETRIE_TESTKIT) && CACHETRIE_TESTKIT
+
+inline constexpr bool kChaosCompiled = true;
+
+namespace chaos {
+namespace detail {
+
+inline std::atomic<bool> g_enabled{false};
+inline std::atomic<std::uint64_t> g_seed{0};
+
+struct Counters {
+  std::atomic<std::uint64_t> points{0};
+  std::atomic<std::uint64_t> yields{0};
+  std::atomic<std::uint64_t> spins{0};
+  // Per-site hit table, indexed by site_hash & 63. Collisions merely merge
+  // counters; tests only assert "this site fired at all".
+  std::array<std::atomic<std::uint64_t>, 64> by_site{};
+};
+
+inline Counters g_counters;
+
+struct ThreadStream {
+  std::uint64_t state = 0;
+  bool bound = false;
+};
+
+inline ThreadStream& stream() noexcept {
+  thread_local ThreadStream ts;
+  return ts;
+}
+
+}  // namespace detail
+
+/// Installs the seed every subsequently bound thread stream derives from.
+inline void set_global_seed(std::uint64_t seed) noexcept {
+  detail::g_seed.store(seed, std::memory_order_relaxed);
+}
+
+/// Master switch; chaos points are free-of-side-effects while disabled so
+/// unrelated tests in the same binary are not perturbed.
+inline void enable(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_release);
+}
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_acquire);
+}
+
+/// Derives this thread's decision stream from (global seed, index). Call
+/// once per worker per history with a stable worker index — that is what
+/// makes a printed seed replayable regardless of OS thread identity.
+inline void bind_thread(std::uint64_t index) noexcept {
+  auto& ts = detail::stream();
+  ts.state = mix(detail::g_seed.load(std::memory_order_relaxed) ^
+                 (0x9e3779b97f4a7c15ULL * (index + 1)));
+  if (ts.state == 0) ts.state = 0x853c49e6748fea9bULL;
+  ts.bound = true;
+}
+
+inline void reset_counters() noexcept {
+  detail::g_counters.points.store(0, std::memory_order_relaxed);
+  detail::g_counters.yields.store(0, std::memory_order_relaxed);
+  detail::g_counters.spins.store(0, std::memory_order_relaxed);
+  for (auto& c : detail::g_counters.by_site) {
+    c.store(0, std::memory_order_relaxed);
+  }
+}
+
+inline Totals totals() noexcept {
+  return Totals{
+      detail::g_counters.points.load(std::memory_order_relaxed),
+      detail::g_counters.yields.load(std::memory_order_relaxed),
+      detail::g_counters.spins.load(std::memory_order_relaxed),
+  };
+}
+
+inline std::uint64_t site_hits(const char* site) noexcept {
+  return detail::g_counters.by_site[site_hash(site) & 63].load(
+      std::memory_order_relaxed);
+}
+
+/// The instrumented hook body. Always advances the stream exactly once so
+/// a thread's decision sequence is independent of which sites it visits.
+inline void point(const char* site) noexcept {
+  if (!enabled()) return;
+  auto& ts = detail::stream();
+  if (!ts.bound) {
+    // Threads nobody bound (e.g. the test main thread constructing a map)
+    // still get a deterministic-per-process stream.
+    bind_thread(0x7f7f7f7fULL + util::current_thread_id());
+  }
+  std::uint64_t x = ts.state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  ts.state = x;
+  const std::uint64_t h = site_hash(site);
+  const std::uint64_t r = mix(x ^ h);
+  detail::g_counters.points.fetch_add(1, std::memory_order_relaxed);
+  detail::g_counters.by_site[h & 63].fetch_add(1, std::memory_order_relaxed);
+  switch (r & 15u) {
+    case 0:
+    case 1:  // 2/16: give the slice away — forces a full reschedule
+      detail::g_counters.yields.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+      break;
+    case 2:
+    case 3:
+    case 4: {  // 3/16: stretch the window without a syscall
+      detail::g_counters.spins.fetch_add(1, std::memory_order_relaxed);
+      const std::uint32_t iters = 1 + ((r >> 8) & 127u);
+      for (std::uint32_t i = 0; i < iters; ++i) {
+        // Opaque to the optimizer so the loop is not folded away.
+        asm volatile("" ::: "memory");
+      }
+      break;
+    }
+    default:  // 11/16: pass through — most crossings stay cheap
+      break;
+  }
+}
+
+}  // namespace chaos
+
+inline void chaos_point(const char* site) noexcept { chaos::point(site); }
+
+#else  // !CACHETRIE_TESTKIT
+
+inline constexpr bool kChaosCompiled = false;
+
+namespace chaos {
+
+// No-op control surface so testkit-aware code compiles in both modes.
+inline void set_global_seed(std::uint64_t) noexcept {}
+inline void enable(bool) noexcept {}
+inline bool enabled() noexcept { return false; }
+inline void bind_thread(std::uint64_t) noexcept {}
+inline void reset_counters() noexcept {}
+inline Totals totals() noexcept { return {}; }
+inline std::uint64_t site_hits(const char*) noexcept { return 0; }
+
+}  // namespace chaos
+
+/// Release builds: an empty constexpr inline the optimizer erases entirely
+/// (the acceptance bar: micro_ops throughput unchanged within noise).
+inline constexpr void chaos_point(const char*) noexcept {}
+
+#endif  // CACHETRIE_TESTKIT
+
+}  // namespace cachetrie::testkit

@@ -1,0 +1,155 @@
+// remove_if_equals_test — edge cases of the conditional removal protocol.
+//
+// remove_if_equals(k, expected) must remove iff the key is present AND its
+// current value equals the comparand, atomically. The interesting cases are
+// the ones a naive lookup-then-remove implementation gets wrong: stale
+// comparands, races against plain remove, and probes of keys that were
+// never present (including after compression has restructured the path the
+// probe walks).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cachetrie/cache_trie.hpp"
+
+namespace {
+
+using Trie = cachetrie::CacheTrie<std::uint64_t, std::uint64_t>;
+
+TEST(RemoveIfEquals, MismatchedExpectedLeavesKeyUntouched) {
+  Trie trie;
+  ASSERT_TRUE(trie.insert(7, 42));
+  EXPECT_FALSE(trie.remove_if_equals(7, 41));
+  EXPECT_FALSE(trie.remove_if_equals(7, 43));
+  EXPECT_EQ(trie.lookup(7), std::optional<std::uint64_t>(42));
+  EXPECT_TRUE(trie.remove_if_equals(7, 42));
+  EXPECT_FALSE(trie.lookup(7).has_value());
+  // The key is gone; the old comparand must not remove anything now.
+  EXPECT_FALSE(trie.remove_if_equals(7, 42));
+  {
+    auto issues = trie.debug_validate();
+    EXPECT_TRUE(issues.empty()) << issues.front();
+  }
+}
+
+TEST(RemoveIfEquals, StaleComparandAfterReplace) {
+  Trie trie;
+  ASSERT_TRUE(trie.insert(3, 1));
+  ASSERT_TRUE(trie.replace(3, 2));
+  EXPECT_FALSE(trie.remove_if_equals(3, 1));  // observed before the replace
+  EXPECT_TRUE(trie.remove_if_equals(3, 2));
+  EXPECT_FALSE(trie.lookup(3).has_value());
+}
+
+TEST(RemoveIfEquals, NeverInsertedKeyIsANoOp) {
+  Trie trie;
+  EXPECT_FALSE(trie.remove_if_equals(123, 0));
+  for (std::uint64_t k = 0; k < 32; ++k) trie.insert(k, k);
+  EXPECT_FALSE(trie.remove_if_equals(999, 999));
+  {
+    auto issues = trie.debug_validate();
+    EXPECT_TRUE(issues.empty()) << issues.front();
+  }
+}
+
+TEST(RemoveIfEquals, NeverInsertedKeyAfterCompression) {
+  // Fill a region of the trie, drain it so remove()'s compression collapses
+  // the emptied ANodes, then probe keys that never existed: the probe walks
+  // the restructured (shortened) path and must still answer false without
+  // disturbing anything.
+  Trie trie;
+  constexpr std::uint64_t kKeys = 512;
+  for (std::uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(trie.insert(k, k));
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(trie.remove(k).has_value());
+  }
+  {
+    auto issues = trie.debug_validate();
+    EXPECT_TRUE(issues.empty()) << issues.front();
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_FALSE(trie.remove_if_equals(k, k)) << "key " << k;
+    EXPECT_FALSE(trie.remove_if_equals(k + kKeys, k)) << "key " << k + kKeys;
+  }
+  {
+    auto issues = trie.debug_validate();
+    EXPECT_TRUE(issues.empty()) << issues.front();
+  }
+}
+
+TEST(RemoveIfEquals, RacingRemoveVsRemoveIfEqualsExactlyOneWins) {
+  // For each round, one plain remove races one remove_if_equals with the
+  // correct comparand. Exactly one of them may claim the key.
+  Trie trie;
+  constexpr int kRounds = 2000;
+  constexpr std::uint64_t kKey = 5;
+  std::atomic<int> round_ready{0};
+  std::atomic<int> wins_remove{0};
+  std::atomic<int> wins_cond{0};
+
+  for (int r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(trie.insert(kKey, static_cast<std::uint64_t>(r)));
+    round_ready.store(0, std::memory_order_release);
+    std::thread a([&] {
+      round_ready.fetch_add(1, std::memory_order_acq_rel);
+      while (round_ready.load(std::memory_order_acquire) < 2) {
+      }
+      if (trie.remove(kKey).has_value()) {
+        wins_remove.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::thread b([&] {
+      round_ready.fetch_add(1, std::memory_order_acq_rel);
+      while (round_ready.load(std::memory_order_acquire) < 2) {
+      }
+      if (trie.remove_if_equals(kKey, static_cast<std::uint64_t>(r))) {
+        wins_cond.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    a.join();
+    b.join();
+    ASSERT_FALSE(trie.lookup(kKey).has_value()) << "round " << r;
+    ASSERT_EQ(wins_remove.load() + wins_cond.load(), r + 1) << "round " << r;
+  }
+  {
+    auto issues = trie.debug_validate();
+    EXPECT_TRUE(issues.empty()) << issues.front();
+  }
+}
+
+TEST(RemoveIfEquals, RacingTwoConditionalRemovesExactlyOneWins) {
+  Trie trie;
+  constexpr int kRounds = 2000;
+  constexpr std::uint64_t kKey = 11;
+  std::atomic<int> round_ready{0};
+  std::atomic<int> wins{0};
+
+  for (int r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(trie.insert(kKey, 77));
+    round_ready.store(0, std::memory_order_release);
+    auto contender = [&] {
+      round_ready.fetch_add(1, std::memory_order_acq_rel);
+      while (round_ready.load(std::memory_order_acquire) < 2) {
+      }
+      if (trie.remove_if_equals(kKey, 77)) {
+        wins.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    std::thread a(contender);
+    std::thread b(contender);
+    a.join();
+    b.join();
+    ASSERT_EQ(wins.load(), r + 1) << "round " << r;
+  }
+  {
+    auto issues = trie.debug_validate();
+    EXPECT_TRUE(issues.empty()) << issues.front();
+  }
+}
+
+}  // namespace
