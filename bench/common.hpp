@@ -22,6 +22,7 @@
 #include "harness/table.hpp"
 #include "harness/thread_team.hpp"
 #include "harness/workload.hpp"
+#include "mr/epoch.hpp"
 #include "skiplist/skiplist.hpp"
 
 namespace bench {
@@ -83,5 +84,34 @@ inline std::vector<int> thread_sweep() {
   return cachetrie::harness::by_scale<std::vector<int>>(
       {1, 2, 4}, {1, 2, 4, 8}, {1, 2, 3, 4, 5, 6, 7, 8});
 }
+
+/// Snapshot of the epoch domain's reclamation counters, for reporting the
+/// limbo (retired-not-yet-freed) overhead next to live-structure footprints
+/// — the paper's JVM numbers fold this cost into the GC, ours is explicit.
+struct ReclaimSnapshot {
+  std::uint64_t retired = 0;
+  std::uint64_t freed = 0;
+  std::size_t limbo_bytes = 0;
+  std::size_t limbo_bytes_hwm = 0;
+
+  static ReclaimSnapshot take() {
+    auto& dom = cachetrie::mr::EpochDomain::instance();
+    return ReclaimSnapshot{dom.retired_count(), dom.freed_count(),
+                           dom.retired_bytes(),
+                           dom.retired_bytes_high_water()};
+  }
+
+  /// Prints the delta since `before` (counters are process-wide and
+  /// monotonic, except limbo_bytes which is a level, not a counter).
+  void print_delta(const ReclaimSnapshot& before, const char* label) const {
+    std::printf(
+        "reclamation [%s]: retired %llu, freed %llu, limbo now %.2f MB, "
+        "limbo high-water %.2f MB\n",
+        label, static_cast<unsigned long long>(retired - before.retired),
+        static_cast<unsigned long long>(freed - before.freed),
+        static_cast<double>(limbo_bytes) / 1e6,
+        static_cast<double>(limbo_bytes_hwm) / 1e6);
+  }
+};
 
 }  // namespace bench

@@ -25,6 +25,7 @@ int main() {
 
   Table table{{"size", "skiplist", "chm", "ctrie", "cachetrie w/o cache",
                "cachetrie"}};
+  const auto reclaim0 = bench::ReclaimSnapshot::take();
   for (const std::size_t n : sizes) {
     const auto keys = cachetrie::harness::random_keys(n);
     auto fill = [&](auto& map) {
@@ -54,6 +55,11 @@ int main() {
                    cell(tnc), cell(tc)});
   }
   table.print();
+
+  // Footprints above count live structure only; this line makes the EBR
+  // limbo overhead visible (the high-water mark bounds how far retired
+  // bytes ever outran the frees during the fills).
+  bench::ReclaimSnapshot::take().print_delta(reclaim0, "fig09 fills");
 
   std::printf(
       "\nexpected shape (paper): skiplist lowest; ctrie ~= cachetrie;\n"

@@ -6,6 +6,12 @@
 #   scripts/check.sh            # all three stages
 #   scripts/check.sh plain      # just one stage (plain | asan | tsan)
 #
+# The fault label (fault-injection + stall-tolerant reclamation + progress
+# watchdog, see tests/*fault*, tests/watchdog_progress_test.cpp) runs in the
+# plain and tsan stages. It is skipped under ASan because killed victim
+# threads intentionally leak their in-flight allocations (simulated thread
+# death never runs cleanup) and LeakSanitizer would report exactly those.
+#
 # The slow label (soak_test, lin_check_test) is excluded here on purpose —
 # run `ctest -L slow` in any of the build trees for the long suite.
 set -euo pipefail
@@ -30,6 +36,12 @@ run_stage() {
     env_prefix=(env TSAN_OPTIONS="suppressions=$repo/scripts/tsan.supp history_size=7")
   fi
   "${env_prefix[@]}" ctest --test-dir "$dir" -L fast --output-on-failure -j "$jobs"
+  if [ "$stage" = plain ] || [ "$stage" = tsan ]; then
+    echo "=== [$stage] ctest -L fault ==="
+    # Liveness windows: the watchdog asserts per-tick progress, so never
+    # run fault tests in parallel with each other on a loaded box.
+    "${env_prefix[@]}" ctest --test-dir "$dir" -L fault --output-on-failure -j 1
+  fi
 }
 
 want="${1:-all}"

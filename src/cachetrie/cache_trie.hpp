@@ -134,6 +134,7 @@ class CacheTrie {
   /// Finds the value associated with the key. Wait-free.
   std::optional<V> lookup(const K& key) const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("cachetrie.pinned");
     const std::uint64_t h = hasher_(key);
     CacheArray* cache = config_.use_cache
                             ? cache_head_.load(std::memory_order_acquire)
@@ -310,6 +311,9 @@ class CacheTrie {
   Res mutate(const K& key, const V& value, Mode mode,
              const V* expected = nullptr) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    // Fault site: a victim parked (or killed) here stalls inside a guard
+    // with the epoch pinned — the worst case for epoch reclamation.
+    testkit::chaos_point("cachetrie.pinned");
     const std::uint64_t h = hasher_(key);
     if (auto start = cache_start(h); start.node != nullptr) {
       const Res r = insert_rec(key, value, h, start.level, start.node,
@@ -671,6 +675,7 @@ class CacheTrie {
 
   std::optional<V> do_remove(const K& key, const V* expected) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("cachetrie.pinned");
     const std::uint64_t h = hasher_(key);
     std::optional<V> out;
     if (auto start = cache_start(h); start.node != nullptr) {
@@ -1161,7 +1166,8 @@ class CacheTrie {
       }
     }
     clear_cache_refs(frozen, prefix, level);
-    Reclaimer::retire_raw(frozen, &mr::free_raw_storage);
+    Reclaimer::retire_raw_sized(frozen, &mr::free_raw_storage,
+                                ANode::alloc_size(frozen->length));
   }
 
   /// Destructor-only: deep-deletes the live structure, including remnants of
@@ -1413,7 +1419,8 @@ class CacheTrie {
       // still be walking it.
       for (CacheArray* c = head; c != anc;) {
         CacheArray* parent = c->parent;
-        Reclaimer::retire_raw(c, &CacheArray::destroy_erased);
+        Reclaimer::retire_raw_sized(c, &CacheArray::destroy_erased,
+                                    c->footprint_bytes());
         c = parent;
       }
     } else if (fresh != anc) {

@@ -147,6 +147,7 @@ class ConcurrentHashMap {
 
   std::optional<V> lookup(const K& key) const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("chm.pinned");
     const std::uint64_t h = adjust_hash(hasher_(key));
     Table* t = table_.load(std::memory_order_acquire);
     while (true) {
@@ -167,6 +168,7 @@ class ConcurrentHashMap {
 
   std::optional<V> remove(const K& key) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("chm.pinned");
     const std::uint64_t h = adjust_hash(hasher_(key));
     while (true) {
       Table* t = current_table();
@@ -278,6 +280,12 @@ class ConcurrentHashMap {
 
   bool do_insert(const K& key, const V& value, bool only_if_absent) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    // Fault site: stalls a thread inside a guard before it does anything.
+    // Note this map is lock-BASED (bin locks): forever-stall plans must
+    // not target it — a victim parked while holding a bin lock blocks
+    // writers for good (that is the baseline's documented weakness, see
+    // DESIGN.md "Reclamation under faults").
+    testkit::chaos_point("chm.pinned");
     const std::uint64_t h = adjust_hash(hasher_(key));
     while (true) {
       Table* t = current_table();
@@ -413,7 +421,8 @@ class ConcurrentHashMap {
           // it once, together with the table.
           Reclaimer::template retire<ForwardNode>(static_cast<ForwardNode*>(
               t->marker.load(std::memory_order_acquire)));
-          Reclaimer::retire_raw(t, &Table::destroy_erased);
+          Reclaimer::retire_raw_sized(t, &Table::destroy_erased,
+                                      Table::alloc_size(t->nbins));
         }
         break;
       }

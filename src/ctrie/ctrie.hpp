@@ -189,6 +189,9 @@ class Ctrie {
   /// Inserts or replaces. Returns true iff the key was new.
   bool insert(const K& key, const V& value) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    // Fault site: a victim parked here holds the guard with nothing else
+    // done — the stall-tolerant reclaimer's worst case (see testkit/fault.hpp).
+    testkit::chaos_point("ctrie.pinned");
     const std::uint64_t h = hasher_(key);
     while (true) {
       const Res r = iinsert(root_, key, value, h, 0, nullptr);
@@ -202,6 +205,7 @@ class Ctrie {
   /// other maps in this repo and with scala TrieMap's putIfAbsent).
   bool put_if_absent(const K& key, const V& value) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("ctrie.pinned");
     const std::uint64_t h = hasher_(key);
     while (true) {
       const Res r =
@@ -214,6 +218,7 @@ class Ctrie {
 
   std::optional<V> lookup(const K& key) const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("ctrie.pinned");
     const std::uint64_t h = hasher_(key);
     while (true) {
       std::optional<V> out;
@@ -228,6 +233,7 @@ class Ctrie {
 
   std::optional<V> remove(const K& key) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("ctrie.pinned");
     const std::uint64_t h = hasher_(key);
     while (true) {
       std::optional<V> out;
@@ -545,7 +551,9 @@ class Ctrie {
   /// with the replacement by construction.
   void retire_main_container(Base* main) {
     if (main->kind == Kind::kCNode) {
-      Reclaimer::retire_raw(main, &mr::free_raw_storage);
+      Reclaimer::retire_raw_sized(
+          main, &mr::free_raw_storage,
+          CNode::alloc_size(static_cast<CNode*>(main)->len));
     } else if (main->kind == Kind::kTNode) {
       // TNode and its tombed SNode are both superseded (resurrection copies
       // the pair into a fresh SNode).
@@ -641,7 +649,8 @@ class Ctrie {
           Reclaimer::template retire<SNodeT>(survivor);
         }
       }
-      Reclaimer::retire_raw(cn, &mr::free_raw_storage);
+      Reclaimer::retire_raw_sized(cn, &mr::free_raw_storage,
+                                  CNode::alloc_size(cn->len));
       return;
     }
     // Lost the race: everything we built is unpublished.
@@ -677,7 +686,8 @@ class Ctrie {
     if (parent->main.compare_exchange_strong(e, contracted,
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
-      Reclaimer::retire_raw(cn, &mr::free_raw_storage);
+      Reclaimer::retire_raw_sized(cn, &mr::free_raw_storage,
+                                  CNode::alloc_size(cn->len));
       Reclaimer::template retire<SNodeT>(tn->sn);
       Reclaimer::template retire<TNodeT>(tn);
       Reclaimer::template retire<INode>(i);

@@ -1,6 +1,29 @@
 #include "mr/epoch.hpp"
 
+#include <cstdlib>
+
 namespace cachetrie::mr {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  return (end == s) ? fallback : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain() {
+  limbo_cap_bytes_.store(
+      static_cast<std::size_t>(
+          env_u64("CACHETRIE_LIMBO_CAP_BYTES", kNoLimboCap)),
+      std::memory_order_relaxed);
+  set_stall_lag_epochs(
+      env_u64("CACHETRIE_STALL_LAG_EPOCHS", kDefaultStallLagEpochs));
+}
 
 EpochDomain& EpochDomain::instance() {
   static EpochDomain domain;
@@ -58,7 +81,8 @@ void EpochDomain::enter() {
   std::uint64_t e;
   do {
     e = global_epoch_.load(std::memory_order_acquire);
-    rec->state.store((e << 1) | 1, std::memory_order_seq_cst);
+    rec->state.store((e << kEpochShift) | kPinnedBit,
+                     std::memory_order_seq_cst);
   } while (global_epoch_.load(std::memory_order_seq_cst) != e);
 }
 
@@ -66,27 +90,65 @@ void EpochDomain::exit() {
   ThreadRecord* rec = local_record();
   assert(rec->nesting > 0);
   if (--rec->nesting != 0) return;
-  // Opportunistically recycle limbo buckets that became safe while pinned.
+  // Opportunistically recycle limbo segments that became safe while pinned.
   collect_local(*rec, global_epoch_.load(std::memory_order_acquire));
-  rec->state.store(0, std::memory_order_release);
+  // Exchange (not store) so a concurrent fallback_scan declaring us stalled
+  // either lands before (we observe the bit here) or fails its CAS.
+  const std::uint64_t old = rec->state.exchange(0, std::memory_order_acq_rel);
+  if (old & kStalledBit) {
+    // A fallback sweep declared this reader dead, yet here it is exiting its
+    // guard. Benign when the exit is the testkit's death-unwind (it touches
+    // no shared memory on the way out); otherwise a crash-stop model
+    // violation — see the header comment.
+    stalled_records_.fetch_sub(1, std::memory_order_relaxed);
+    stalled_guard_exits_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void EpochDomain::retire(void* p, Deleter deleter) {
-  ThreadRecord* rec = local_record();
-  assert(rec->nesting > 0 && "retire() requires an active guard");
-  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
-  const int idx = static_cast<int>(e % 3);
-  if (rec->limbo_epoch[idx] != e) {
-    // Bucket contents are from epoch e-3 or earlier: grace period elapsed.
-    free_bucket(*rec, idx);
-    rec->limbo_epoch[idx] = e;
+bool EpochDomain::current_thread_declared_stalled() {
+  return (local_record()->state.load(std::memory_order_acquire) &
+          kStalledBit) != 0;
+}
+
+void EpochDomain::note_limbo_bytes(std::size_t now) noexcept {
+  std::size_t hwm = limbo_bytes_hwm_.load(std::memory_order_relaxed);
+  while (now > hwm && !limbo_bytes_hwm_.compare_exchange_weak(
+                          hwm, now, std::memory_order_relaxed)) {
   }
-  rec->limbo[idx].push_back(Retired{p, deleter});
+}
+
+void EpochDomain::retire(void* p, Deleter deleter, std::size_t bytes) {
+  ThreadRecord* rec = local_record();
+  assert(rec->nesting > 0 &&
+         "EpochDomain::retire() outside a Guard — the retiring operation "
+         "must itself hold a pin (policy contract in mr/reclaimer.hpp)");
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  if (rec->limbo.empty() || rec->limbo.back().epoch != e) {
+    rec->limbo.push_back(Segment{e, 0, {}});
+  }
+  Segment& seg = rec->limbo.back();
+  seg.items.push_back(Retired{p, deleter, bytes});
+  seg.bytes += bytes;
   retired_total_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      limbo_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  note_limbo_bytes(now);
   if (++rec->retire_pulse >= kAdvanceInterval) {
     rec->retire_pulse = 0;
     try_advance();
     collect_local(*rec, global_epoch_.load(std::memory_order_acquire));
+  }
+  if (now > limbo_cap_bytes_.load(std::memory_order_relaxed)) {
+    // Over the cap: push the epoch and collect eagerly; when that frees
+    // nothing and limbo stays over the cap, a straggler is blocking
+    // advancement — run the stall fallback.
+    try_advance();
+    const std::size_t freed =
+        collect_local(*rec, global_epoch_.load(std::memory_order_acquire));
+    if (freed == 0 && limbo_bytes_.load(std::memory_order_relaxed) >
+                          limbo_cap_bytes_.load(std::memory_order_relaxed)) {
+      fallback_scan();
+    }
   }
 }
 
@@ -95,7 +157,10 @@ bool EpochDomain::try_advance() {
   for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
        rec != nullptr; rec = rec->next) {
     const std::uint64_t s = rec->state.load(std::memory_order_seq_cst);
-    if ((s & 1) != 0 && (s >> 1) != e) return false;  // straggler reader
+    if ((s & kPinnedBit) != 0 && (s & kStalledBit) == 0 &&
+        (s >> kEpochShift) != e) {
+      return false;  // straggler reader not (yet) declared stalled
+    }
   }
   const bool advanced = global_epoch_.compare_exchange_strong(
       e, e + 1, std::memory_order_acq_rel, std::memory_order_acquire);
@@ -103,26 +168,79 @@ bool EpochDomain::try_advance() {
   return advanced;
 }
 
-void EpochDomain::free_bucket(ThreadRecord& rec, int idx) {
-  auto& bucket = rec.limbo[idx];
-  if (bucket.empty()) return;
-  for (const Retired& r : bucket) r.deleter(r.ptr);
-  freed_total_.fetch_add(bucket.size(), std::memory_order_relaxed);
-  bucket.clear();
-}
-
-void EpochDomain::collect_local(ThreadRecord& rec, std::uint64_t current) {
-  for (int idx = 0; idx < 3; ++idx) {
-    if (!rec.limbo[idx].empty() && rec.limbo_epoch[idx] + 2 <= current) {
-      free_bucket(rec, idx);
+std::size_t EpochDomain::fallback_scan() {
+  fallback_scans_.fetch_add(1, std::memory_order_relaxed);
+  // Hazard-style sweep (same shape as HazardDomain::scan_list, with the
+  // published epoch playing the role of the hazard pointer). A record
+  // pinned at an epoch other than the current one is what is blocking
+  // advancement (the advance rule caps absolute lag at one epoch), so the
+  // sweep measures *persistence*: tick such a record once per sweep, and
+  // declare it stalled after `stall_lag_epochs` consecutive ticks. The
+  // owner's whole-word publish on enter/exit resets the tick field, so a
+  // slow-but-live reader that keeps completing guards never accumulates
+  // ticks — only one stuck inside a single guard does.
+  const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  const std::uint64_t lag = stall_lag_epochs();
+  for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
+       rec != nullptr; rec = rec->next) {
+    std::uint64_t s = rec->state.load(std::memory_order_seq_cst);
+    if ((s & kPinnedBit) != 0 && (s & kStalledBit) == 0 &&
+        (s >> kEpochShift) != e) {
+      const std::uint64_t ticks = (s >> kTickShift) & kTickMask;
+      const std::uint64_t desired = (ticks + 1 >= lag)
+                                        ? (s | kStalledBit)
+                                        : s + (std::uint64_t{1} << kTickShift);
+      // Losing the CAS means the owner exited (tick reset — correct) or a
+      // concurrent sweep ticked first (skip one tick — harmless).
+      if (rec->state.compare_exchange_strong(s, desired,
+                                             std::memory_order_acq_rel) &&
+          (desired & kStalledBit) != 0) {
+        stalled_records_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
+  // One full grace period: two advances. Each can still fail if a live
+  // (non-stalled) reader is mid-operation; that only delays collection by
+  // one bounded op, not forever.
+  try_advance();
+  try_advance();
+  ThreadRecord* self = local_record();
+  return collect_local(*self,
+                       global_epoch_.load(std::memory_order_acquire));
+}
+
+std::size_t EpochDomain::free_segment(Segment& seg) {
+  if (seg.items.empty()) return 0;
+  for (const Retired& r : seg.items) r.deleter(r.ptr);
+  const std::size_t n = seg.items.size();
+  freed_total_.fetch_add(n, std::memory_order_relaxed);
+  limbo_bytes_.fetch_sub(seg.bytes, std::memory_order_relaxed);
+  seg.items.clear();
+  seg.bytes = 0;
+  return n;
+}
+
+std::size_t EpochDomain::collect_local(ThreadRecord& rec,
+                                       std::uint64_t current) {
+  std::size_t freed = 0;
+  std::size_t keep_from = 0;
+  // Segments are in increasing-epoch order; free the safe prefix.
+  while (keep_from < rec.limbo.size() &&
+         rec.limbo[keep_from].epoch + 2 <= current) {
+    freed += free_segment(rec.limbo[keep_from]);
+    ++keep_from;
+  }
+  if (keep_from != 0) {
+    rec.limbo.erase(rec.limbo.begin(),
+                    rec.limbo.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  }
+  return freed;
 }
 
 void EpochDomain::orphan_all(ThreadRecord& rec) {
-  for (int idx = 0; idx < 3; ++idx) {
-    for (const Retired& r : rec.limbo[idx]) {
-      auto* orphan = new Orphan{r, rec.limbo_epoch[idx], nullptr};
+  for (Segment& seg : rec.limbo) {
+    for (const Retired& r : seg.items) {
+      auto* orphan = new Orphan{r, seg.epoch, nullptr};
       Orphan* head = orphans_.load(std::memory_order_acquire);
       do {
         orphan->next = head;
@@ -130,9 +248,8 @@ void EpochDomain::orphan_all(ThreadRecord& rec) {
                                                std::memory_order_acq_rel,
                                                std::memory_order_acquire));
     }
-    rec.limbo[idx].clear();
-    rec.limbo_epoch[idx] = 0;
   }
+  rec.limbo.clear();
 }
 
 void EpochDomain::collect_orphans(std::uint64_t current) {
@@ -140,10 +257,12 @@ void EpochDomain::collect_orphans(std::uint64_t current) {
   Orphan* head = orphans_.exchange(nullptr, std::memory_order_acq_rel);
   Orphan* keep = nullptr;
   std::uint64_t freed = 0;
+  std::size_t freed_bytes = 0;
   while (head != nullptr) {
     Orphan* next = head->next;
     if (head->epoch + 2 <= current) {
       head->item.deleter(head->item.ptr);
+      freed_bytes += head->item.bytes;
       delete head;
       ++freed;
     } else {
@@ -152,7 +271,10 @@ void EpochDomain::collect_orphans(std::uint64_t current) {
     }
     head = next;
   }
-  if (freed != 0) freed_total_.fetch_add(freed, std::memory_order_relaxed);
+  if (freed != 0) {
+    freed_total_.fetch_add(freed, std::memory_order_relaxed);
+    limbo_bytes_.fetch_sub(freed_bytes, std::memory_order_relaxed);
+  }
   while (keep != nullptr) {
     Orphan* next = keep->next;
     Orphan* cur_head = orphans_.load(std::memory_order_acquire);
@@ -167,7 +289,7 @@ void EpochDomain::collect_orphans(std::uint64_t current) {
 
 std::size_t EpochDomain::drain_for_testing() {
   std::size_t freed = 0;
-  // All threads must be quiescent; free every limbo bucket of every record
+  // All threads must be quiescent; free every limbo segment of every record
   // that is not claimed by the calling thread, then the caller's own, then
   // all orphans.
   ThreadRecord* self = local_record();
@@ -179,22 +301,26 @@ std::size_t EpochDomain::drain_for_testing() {
     // may still hold limbo entries. Draining other in-use records would race
     // with their owners, so skip them.
     if (rec != self && rec->in_use.load(std::memory_order_acquire)) continue;
-    for (int idx = 0; idx < 3; ++idx) {
-      freed += rec->limbo[idx].size();
-      free_bucket(*rec, idx);  // free_bucket updates freed_total_
-      rec->limbo_epoch[idx] = 0;
+    for (Segment& seg : rec->limbo) {
+      freed += free_segment(seg);  // free_segment updates the counters
     }
+    rec->limbo.clear();
   }
   Orphan* head = orphans_.exchange(nullptr, std::memory_order_acq_rel);
   std::uint64_t orphan_freed = 0;
+  std::size_t orphan_bytes = 0;
   while (head != nullptr) {
     Orphan* next = head->next;
     head->item.deleter(head->item.ptr);
+    orphan_bytes += head->item.bytes;
     delete head;
     ++orphan_freed;
     head = next;
   }
-  freed_total_.fetch_add(orphan_freed, std::memory_order_relaxed);
+  if (orphan_freed != 0) {
+    freed_total_.fetch_add(orphan_freed, std::memory_order_relaxed);
+    limbo_bytes_.fetch_sub(orphan_bytes, std::memory_order_relaxed);
+  }
   return freed + orphan_freed;
 }
 

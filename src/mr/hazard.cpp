@@ -1,8 +1,18 @@
 #include "mr/hazard.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace cachetrie::mr {
+
+HazardDomain::HazardDomain(std::size_t scan_threshold) {
+  if (scan_threshold == 0) {
+    if (const char* s = std::getenv("CACHETRIE_HP_SCAN_THRESHOLD")) {
+      scan_threshold = static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
+    }
+  }
+  set_scan_threshold(scan_threshold);
+}
 
 HazardDomain& HazardDomain::instance() {
   static HazardDomain domain;
@@ -69,7 +79,7 @@ void HazardDomain::retire(void* p, Deleter deleter) {
   ThreadRecord* rec = local_record();
   rec->retired.push_back(Retired{p, deleter});
   retired_total_.fetch_add(1, std::memory_order_relaxed);
-  if (rec->retired.size() >= kScanThreshold) {
+  if (rec->retired.size() >= scan_threshold()) {
     scan_list(rec->retired);
   }
 }

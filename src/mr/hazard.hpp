@@ -30,7 +30,11 @@ class HazardDomain {
 
   static HazardDomain& instance();
 
-  HazardDomain() = default;
+  /// `scan_threshold` = retired-list length that triggers an automatic
+  /// scan. 0 means: take CACHETRIE_HP_SCAN_THRESHOLD from the environment,
+  /// falling back to kDefaultScanThreshold. Tunable so the stall-fallback
+  /// tests can force frequent (or suppress automatic) scans.
+  explicit HazardDomain(std::size_t scan_threshold = 0);
   HazardDomain(const HazardDomain&) = delete;
   HazardDomain& operator=(const HazardDomain&) = delete;
 
@@ -101,6 +105,16 @@ class HazardDomain {
     return freed_total_.load(std::memory_order_relaxed);
   }
 
+  void set_scan_threshold(std::size_t n) noexcept {
+    scan_threshold_.store(n == 0 ? kDefaultScanThreshold : n,
+                          std::memory_order_relaxed);
+  }
+  std::size_t scan_threshold() const noexcept {
+    return scan_threshold_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kDefaultScanThreshold = 128;
+
  private:
   struct Retired {
     void* ptr;
@@ -126,8 +140,7 @@ class HazardDomain {
   void orphan_all(ThreadRecord& rec);
   std::size_t scan_list(std::vector<Retired>& list);
 
-  static constexpr std::size_t kScanThreshold = 128;
-
+  std::atomic<std::size_t> scan_threshold_{kDefaultScanThreshold};
   std::atomic<ThreadRecord*> records_{nullptr};
   std::atomic<std::uint64_t> retired_total_{0};
   std::atomic<std::uint64_t> freed_total_{0};
@@ -150,6 +163,11 @@ struct HazardReclaimer {
     HazardDomain::instance().retire(p);
   }
   static void retire_raw(void* p, Deleter d) {
+    HazardDomain::instance().retire(p, d);
+  }
+  static void retire_raw_sized(void* p, Deleter d, std::size_t) {
+    // Hazard garbage is already bounded by O(threads * slots); the byte
+    // hint only matters for the epoch domain's limbo cap.
     HazardDomain::instance().retire(p, d);
   }
 };

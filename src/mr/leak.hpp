@@ -25,6 +25,9 @@ struct LeakReclaimer {
   static void retire_raw(void*, Deleter) noexcept {
     leaked_.fetch_add(1, std::memory_order_relaxed);
   }
+  static void retire_raw_sized(void*, Deleter, std::size_t) noexcept {
+    leaked_.fetch_add(1, std::memory_order_relaxed);
+  }
   static std::uint64_t leaked_count() noexcept {
     return leaked_.load(std::memory_order_relaxed);
   }

@@ -8,7 +8,10 @@
 //   * mr::EpochReclaimer  — epoch-based reclamation (EBR); the default for
 //                           every data structure in this repo. Readers pin a
 //                           global epoch for the duration of one operation;
-//                           retired nodes are freed two epochs later.
+//                           retired nodes are freed two epochs later. Has a
+//                           stall-tolerant degraded mode (byte-capped limbo
+//                           + hazard-style fallback sweep; see epoch.hpp and
+//                           DESIGN.md "Reclamation under faults").
 //   * mr::HazardReclaimer — hazard pointers (Michael 2004); per-pointer
 //                           protection, used by the chashmap bucket lists and
 //                           available for ablation.
@@ -20,10 +23,28 @@
 //   P::pin() -> Guard          enter a read-side critical section
 //   P::retire<T>(T* p)         schedule `delete p` after a grace period
 //   P::retire_raw(p, deleter)  same, with an explicit type-erased deleter
+//   P::retire_raw_sized(p, deleter, bytes)
+//                              same, and report the allocation size so the
+//                              reclaimer's garbage accounting (limbo caps,
+//                              footprint reporting) is exact. retire<T> does
+//                              this automatically with sizeof(T); the _raw
+//                              form falls back to kUnknownRetiredBytes.
+//
+// Contract — retire must be called inside a Guard. The retiring operation
+// is itself a reader of the structure it just unlinked from: the guard is
+// what proves the unlink happened in a well-defined epoch (or, for hazard
+// pointers, that the retiring thread has a registered record). Calling any
+// retire variant outside a pin is undefined: with EBR the item would be
+// tagged with an epoch no reader handshake protects, so it can be freed
+// while a concurrent reader still dereferences it. EpochDomain asserts the
+// precondition (guard nesting > 0) in debug builds; release builds do not
+// pay for the check.
 //
 // All data structures are templated on the policy, so the ablation benches
 // can swap reclamation backends without touching algorithm code.
 #pragma once
+
+#include <cstddef>
 
 namespace cachetrie::mr {
 
@@ -31,6 +52,11 @@ namespace cachetrie::mr {
 /// has elapsed. Must not touch any shared structure (it may run long after
 /// the owning container died).
 using Deleter = void (*)(void*);
+
+/// Byte size charged to the limbo accounting when the caller does not know
+/// the allocation size (plain retire_raw). One cache line is a deliberate
+/// under-estimate-resistant default for the node sizes in this repo.
+inline constexpr std::size_t kUnknownRetiredBytes = 64;
 
 /// Canonical deleter for objects allocated with plain `new`.
 template <typename T>

@@ -134,6 +134,9 @@ class ConcurrentSkipList {
   /// Inserts or replaces. Returns true iff the key was new.
   bool insert(const K& key, const V& value) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    // Fault site: victim parks inside the guard before touching the list —
+    // the stall-tolerant reclaimer's worst case (testkit/fault.hpp).
+    testkit::chaos_point("csl.pinned");
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     while (true) {
@@ -168,6 +171,7 @@ class ConcurrentSkipList {
 
   bool put_if_absent(const K& key, const V& value) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("csl.pinned");
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     while (true) {
@@ -199,6 +203,7 @@ class ConcurrentSkipList {
 
   std::optional<V> lookup(const K& key) const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("csl.pinned");
     // Wait-free traversal (Herlihy–Shavit contains): never snips, never
     // restarts, but also never trusts a marked node — corpses are skipped
     // via their (frozen) forward pointer and never become `pred`, because a
@@ -240,6 +245,7 @@ class ConcurrentSkipList {
 
   std::optional<V> remove(const K& key) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("csl.pinned");
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     if (!find(key, preds, succs)) return std::nullopt;
@@ -273,7 +279,8 @@ class ConcurrentSkipList {
     // node is unreachable (inserts that could have re-linked a marked
     // successor re-run find themselves — see link_upper_levels).
     find(key, preds, succs);
-    Reclaimer::retire_raw(victim, &Node::destroy_erased);
+    Reclaimer::retire_raw_sized(victim, &Node::destroy_erased,
+                                Node::alloc_size(victim->top_level));
     return out;
   }
 

@@ -79,6 +79,14 @@ namespace detail {
 inline std::atomic<bool> g_enabled{false};
 inline std::atomic<std::uint64_t> g_seed{0};
 
+/// Fault-verdict hook, installed by the fault-injection engine
+/// (testkit/fault.hpp). Consulted on every chaos crossing while chaos is
+/// enabled; receives the site name and its precomputed hash. May throw
+/// (fault::ThreadKilled simulates thread death by unwinding), which is why
+/// the instrumented point() is not noexcept.
+using FaultHook = void (*)(const char* site, std::uint64_t site_hash);
+inline std::atomic<FaultHook> g_fault_hook{nullptr};
+
 struct Counters {
   std::atomic<std::uint64_t> points{0};
   std::atomic<std::uint64_t> yields{0};
@@ -92,6 +100,7 @@ inline Counters g_counters;
 
 struct ThreadStream {
   std::uint64_t state = 0;
+  std::uint64_t index = 0;
   bool bound = false;
 };
 
@@ -125,7 +134,17 @@ inline void bind_thread(std::uint64_t index) noexcept {
   ts.state = mix(detail::g_seed.load(std::memory_order_relaxed) ^
                  (0x9e3779b97f4a7c15ULL * (index + 1)));
   if (ts.state == 0) ts.state = 0x853c49e6748fea9bULL;
+  ts.index = index;
   ts.bound = true;
+}
+
+/// The index this thread was bound with (fault plans filter victims by it).
+/// Auto-bound threads report their derived per-process index.
+inline std::uint64_t bound_index() noexcept { return detail::stream().index; }
+
+/// Installs (or, with nullptr, removes) the fault-verdict hook.
+inline void set_fault_hook(detail::FaultHook hook) noexcept {
+  detail::g_fault_hook.store(hook, std::memory_order_release);
 }
 
 inline void reset_counters() noexcept {
@@ -152,7 +171,8 @@ inline std::uint64_t site_hits(const char* site) noexcept {
 
 /// The instrumented hook body. Always advances the stream exactly once so
 /// a thread's decision sequence is independent of which sites it visits.
-inline void point(const char* site) noexcept {
+/// Not noexcept: the fault hook may simulate thread death by throwing.
+inline void point(const char* site) {
   if (!enabled()) return;
   auto& ts = detail::stream();
   if (!ts.bound) {
@@ -189,11 +209,14 @@ inline void point(const char* site) noexcept {
     default:  // 11/16: pass through — most crossings stay cheap
       break;
   }
+  if (auto* hook = detail::g_fault_hook.load(std::memory_order_acquire)) {
+    hook(site, h);
+  }
 }
 
 }  // namespace chaos
 
-inline void chaos_point(const char* site) noexcept { chaos::point(site); }
+inline void chaos_point(const char* site) { chaos::point(site); }
 
 #else  // !CACHETRIE_TESTKIT
 
@@ -206,6 +229,7 @@ inline void set_global_seed(std::uint64_t) noexcept {}
 inline void enable(bool) noexcept {}
 inline bool enabled() noexcept { return false; }
 inline void bind_thread(std::uint64_t) noexcept {}
+inline std::uint64_t bound_index() noexcept { return 0; }
 inline void reset_counters() noexcept {}
 inline Totals totals() noexcept { return {}; }
 inline std::uint64_t site_hits(const char*) noexcept { return 0; }

@@ -1,0 +1,327 @@
+// fault.hpp — seeded fault-injection engine for the testkit.
+//
+// PR 1's chaos engine perturbs schedules (yields/spins at protocol decision
+// points). This layer upgrades those same sites to real fault verdicts so
+// tests can prove — not assume — lock-freedom and bounded-garbage
+// reclamation under the schedules lock-freedom is supposed to survive:
+//
+//   * stall(site, duration)  — the crossing thread parks for `duration`
+//     (or until release_all(), whichever is first), then resumes. Models a
+//     long preemption at the worst instruction.
+//   * stall(site, kForever)  — parks until release_all(). Models an
+//     unbounded stall; joinable at test teardown.
+//   * die(site)              — parks until release_all(), then throws
+//     fault::ThreadKilled. Models thread death: the victim executes no
+//     further structure code (the unwind only runs Guard destructors, which
+//     touch no shared nodes), so the reclaimer's crash-stop assumption
+//     holds by construction. Victim thread functions catch ThreadKilled.
+//
+// Resume fence: every stall wake-up first asks the epoch domain whether a
+// fallback sweep declared this thread stalled while it was parked
+// (EpochDomain::current_thread_declared_stalled). If so, the victim is NOT
+// allowed to resume — memory it may reference has been recycled under the
+// crash-stop model — and the stall is converted into a death-unwind. A
+// declared victim stays dead.
+//
+// Plans are replayable: Plan::randomized(seed, ...) derives every spec
+// (durations, ordinals, victim assignment) deterministically from the seed
+// via the chaos mixer, and Plan::describe() prints the seed plus the specs
+// so a failing run can be reproduced exactly.
+//
+// Build modes mirror chaos.hpp: without CACHETRIE_TESTKIT everything here
+// is a no-op stub so fault-aware helpers compile in release builds.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testkit/chaos.hpp"
+
+#if defined(CACHETRIE_TESTKIT) && CACHETRIE_TESTKIT
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "mr/epoch.hpp"
+#endif
+
+namespace cachetrie::testkit::fault {
+
+/// Thrown by the engine to simulate thread death (and to enforce the
+/// crash-stop model on declared-stalled victims). Victim thread functions
+/// catch it at top level; the unwind runs only RAII destructors.
+struct ThreadKilled {};
+
+enum class Kind : std::uint8_t { kStall, kDie };
+
+/// Spec.thread value matching every thread.
+inline constexpr std::uint64_t kAnyThread = ~0ull;
+/// Stall duration meaning "until release_all()".
+inline constexpr auto kForever = std::chrono::nanoseconds::max();
+
+/// One injection rule. Matching is per thread: the engine counts each
+/// thread's crossings of `site` and fires on crossings
+/// [fire_on_hit, fire_on_hit + max_fires).
+struct Spec {
+  std::uint64_t site = 0;  // site_hash(name)
+  Kind kind = Kind::kStall;
+  std::chrono::nanoseconds duration{0};
+  std::uint64_t thread = kAnyThread;  // chaos::bind_thread index filter
+  std::uint32_t fire_on_hit = 1;
+  std::uint32_t max_fires = 1;
+};
+
+/// A fault plan: an ordered list of specs plus the seed it was derived
+/// from. Install with fault::install(plan); deterministic given the seed
+/// and the per-thread crossing sequence (pin specs to thread indices for
+/// strict replay — verdicts for kAnyThread specs depend on which thread
+/// crosses first).
+class Plan {
+ public:
+  explicit Plan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  Plan& stall(const char* site, std::chrono::nanoseconds duration,
+              std::uint64_t thread = kAnyThread, std::uint32_t fire_on_hit = 1,
+              std::uint32_t max_fires = 1) {
+    return add(site, Kind::kStall, duration, thread, fire_on_hit, max_fires);
+  }
+
+  Plan& die(const char* site, std::uint64_t thread = kAnyThread,
+            std::uint32_t fire_on_hit = 1) {
+    return add(site, Kind::kDie, kForever, thread, fire_on_hit, 1);
+  }
+
+  /// Derives one finite-stall spec per (site, victim) pair, with duration
+  /// in [min_stall, max_stall] and a small randomized crossing ordinal, all
+  /// as a pure function of `seed`. Victims are thread indices
+  /// 0..n_victims-1 (bind churn workers accordingly).
+  static Plan randomized(std::uint64_t seed, const char* const* sites,
+                         std::size_t n_sites, std::uint64_t n_victims,
+                         std::chrono::nanoseconds min_stall,
+                         std::chrono::nanoseconds max_stall) {
+    Plan plan(seed);
+    std::uint64_t x = chaos::mix(seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t span = static_cast<std::uint64_t>(
+        (max_stall - min_stall).count() + 1);
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      for (std::uint64_t v = 0; v < n_victims; ++v) {
+        x = chaos::mix(x + i * 131 + v * 31 + 1);
+        const auto dur =
+            min_stall + std::chrono::nanoseconds(
+                            static_cast<std::int64_t>(x % span));
+        const auto fire_on = static_cast<std::uint32_t>(1 + ((x >> 32) & 3));
+        const auto fires = static_cast<std::uint32_t>(1 + ((x >> 40) & 1));
+        plan.stall(sites[i], dur, v, fire_on, fires);
+      }
+    }
+    return plan;
+  }
+
+  const std::vector<Spec>& specs() const noexcept { return specs_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Human-readable rendering, replay seed first.
+  std::string describe() const {
+    std::string out = "fault plan seed=" + std::to_string(seed_) + "\n";
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      const Spec& s = specs_[i];
+      out += "  [" + std::to_string(i) + "] " + names_[i];
+      out += s.kind == Kind::kDie ? " die" : " stall";
+      if (s.kind == Kind::kStall) {
+        out += s.duration == kForever
+                   ? std::string(" forever")
+                   : " " + std::to_string(s.duration.count()) + "ns";
+      }
+      out += s.thread == kAnyThread ? " thread=any"
+                                    : " thread=" + std::to_string(s.thread);
+      out += " hit=" + std::to_string(s.fire_on_hit) + "x" +
+             std::to_string(s.max_fires) + "\n";
+    }
+    return out;
+  }
+
+ private:
+  Plan& add(const char* site, Kind kind, std::chrono::nanoseconds duration,
+            std::uint64_t thread, std::uint32_t fire_on_hit,
+            std::uint32_t max_fires) {
+    specs_.push_back(Spec{site_hash(site), kind, duration, thread,
+                          fire_on_hit, max_fires});
+    names_.emplace_back(site);
+    return *this;
+  }
+
+  std::uint64_t seed_;
+  std::vector<Spec> specs_;
+  std::vector<std::string> names_;
+};
+
+#if defined(CACHETRIE_TESTKIT) && CACHETRIE_TESTKIT
+
+namespace detail {
+
+struct PlanState {
+  std::uint64_t generation = 0;
+  std::vector<Spec> specs;
+};
+
+// Installed plans are retained for the process lifetime (threads may hold a
+// raw pointer across an install), so the atomic swap needs no reclamation.
+inline std::vector<std::unique_ptr<PlanState>>& plan_history() {
+  static auto* v = new std::vector<std::unique_ptr<PlanState>>();
+  return *v;
+}
+inline std::mutex& plan_mutex() {
+  static auto* m = new std::mutex();
+  return *m;
+}
+inline std::atomic<PlanState*> g_plan{nullptr};
+inline std::atomic<std::uint64_t> g_generation{0};
+
+// Parking lot. Heap-allocated and never destroyed: a die() victim that is
+// never released must not outlive a static condvar's destructor.
+struct Parking {
+  std::mutex m;
+  std::condition_variable cv;
+  std::uint64_t release_gen = 0;
+};
+inline Parking& parking() {
+  static auto* p = new Parking();
+  return *p;
+}
+
+inline std::atomic<std::uint64_t> g_stalls{0};
+inline std::atomic<std::uint64_t> g_deaths{0};
+inline std::atomic<std::uint64_t> g_parked_now{0};
+inline std::atomic<std::uint64_t> g_parked_total{0};
+
+struct ThreadHits {
+  std::uint64_t generation = ~0ull;
+  std::vector<std::uint32_t> hits;
+};
+inline ThreadHits& thread_hits() {
+  thread_local ThreadHits th;
+  return th;
+}
+
+/// Park per the spec, then either resume or die. Throws ThreadKilled.
+inline void execute(const Spec& spec) {
+  auto& pk = parking();
+  bool deadline_elapsed = false;
+  {
+    std::unique_lock<std::mutex> lk(pk.m);
+    const std::uint64_t gen0 = pk.release_gen;
+    g_parked_now.fetch_add(1, std::memory_order_relaxed);
+    g_parked_total.fetch_add(1, std::memory_order_relaxed);
+    (spec.kind == Kind::kDie ? g_deaths : g_stalls)
+        .fetch_add(1, std::memory_order_relaxed);
+    auto released = [&] { return pk.release_gen != gen0; };
+    if (spec.kind == Kind::kStall && spec.duration != kForever) {
+      deadline_elapsed = !pk.cv.wait_for(lk, spec.duration, released);
+    } else {
+      pk.cv.wait(lk, released);
+    }
+    g_parked_now.fetch_sub(1, std::memory_order_relaxed);
+  }
+  (void)deadline_elapsed;
+  if (spec.kind == Kind::kDie) throw ThreadKilled{};
+  // Resume fence: a victim the reclaimer declared dead while it was parked
+  // must not execute another instruction of structure code.
+  if (mr::EpochDomain::instance().current_thread_declared_stalled()) {
+    throw ThreadKilled{};
+  }
+}
+
+inline void on_chaos_point(const char* /*site*/, std::uint64_t site_h) {
+  PlanState* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return;
+  ThreadHits& th = thread_hits();
+  if (th.generation != plan->generation) {
+    th.generation = plan->generation;
+    th.hits.assign(plan->specs.size(), 0);
+  }
+  for (std::size_t i = 0; i < plan->specs.size(); ++i) {
+    const Spec& spec = plan->specs[i];
+    if (spec.site != site_h) continue;
+    if (spec.thread != kAnyThread && spec.thread != chaos::bound_index()) {
+      continue;
+    }
+    const std::uint32_t c = ++th.hits[i];
+    if (c < spec.fire_on_hit || c >= spec.fire_on_hit + spec.max_fires) {
+      continue;
+    }
+    execute(spec);
+  }
+}
+
+}  // namespace detail
+
+/// Installs `plan` as the live fault plan and hooks the chaos engine.
+/// Verdicts fire only while chaos is enabled (chaos::enable(true)).
+inline void install(const Plan& plan) {
+  auto state = std::make_unique<detail::PlanState>();
+  state->generation =
+      detail::g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+  state->specs = plan.specs();
+  detail::PlanState* raw = state.get();
+  {
+    std::lock_guard<std::mutex> lk(detail::plan_mutex());
+    detail::plan_history().push_back(std::move(state));
+  }
+  detail::g_plan.store(raw, std::memory_order_release);
+  chaos::set_fault_hook(&detail::on_chaos_point);
+}
+
+/// Wakes every parked victim: finite/forever stalls resume (subject to the
+/// resume fence); die() victims throw ThreadKilled and become joinable.
+inline void release_all() {
+  auto& pk = detail::parking();
+  {
+    std::lock_guard<std::mutex> lk(pk.m);
+    ++pk.release_gen;
+  }
+  pk.cv.notify_all();
+}
+
+/// Uninstalls the plan and releases all victims.
+inline void clear() {
+  detail::g_plan.store(nullptr, std::memory_order_release);
+  chaos::set_fault_hook(nullptr);
+  release_all();
+}
+
+inline std::uint64_t injected_stalls() noexcept {
+  return detail::g_stalls.load(std::memory_order_relaxed);
+}
+inline std::uint64_t injected_deaths() noexcept {
+  return detail::g_deaths.load(std::memory_order_relaxed);
+}
+inline std::uint64_t parked_now() noexcept {
+  return detail::g_parked_now.load(std::memory_order_relaxed);
+}
+inline std::uint64_t parked_total() noexcept {
+  return detail::g_parked_total.load(std::memory_order_relaxed);
+}
+inline void reset_counters() noexcept {
+  detail::g_stalls.store(0, std::memory_order_relaxed);
+  detail::g_deaths.store(0, std::memory_order_relaxed);
+  detail::g_parked_total.store(0, std::memory_order_relaxed);
+}
+
+#else  // !CACHETRIE_TESTKIT
+
+inline void install(const Plan&) noexcept {}
+inline void release_all() noexcept {}
+inline void clear() noexcept {}
+inline std::uint64_t injected_stalls() noexcept { return 0; }
+inline std::uint64_t injected_deaths() noexcept { return 0; }
+inline std::uint64_t parked_now() noexcept { return 0; }
+inline std::uint64_t parked_total() noexcept { return 0; }
+inline void reset_counters() noexcept {}
+
+#endif  // CACHETRIE_TESTKIT
+
+}  // namespace cachetrie::testkit::fault

@@ -5,6 +5,7 @@
 // properties that hold regardless of other tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -172,6 +173,106 @@ TEST(Epoch, ThreadRecordsAreRecycled) {
     });
     t.join();
   }
+  dom.drain_for_testing();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(Epoch, OrphanedLimboFreedBySurvivors) {
+  // A thread that exits with a non-empty limbo orphans its items; surviving
+  // threads must free them through ordinary advances — no drain_for_testing,
+  // which a real deployment never calls.
+  auto& dom = EpochDomain::instance();
+  dom.drain_for_testing();  // start from an empty limbo
+  Tracked::live.store(0);
+  std::thread t([&] {
+    auto g = dom.pin();
+    for (int i = 0; i < 100; ++i) dom.retire(new Tracked());
+  });
+  t.join();  // records orphaned on thread exit
+  for (int i = 0; i < 10 && Tracked::live.load() != 0; ++i) {
+    auto g = dom.pin();
+    dom.try_advance();  // successful advances collect orphans
+  }
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(Epoch, ByteAccountingTracksLimbo) {
+  auto& dom = EpochDomain::instance();
+  dom.drain_for_testing();
+  const std::size_t bytes0 = dom.retired_bytes();
+  const std::size_t hwm0 = dom.retired_bytes_high_water();
+  constexpr std::size_t kEach = 512;
+  constexpr int kCount = 32;
+  {
+    auto g = dom.pin();
+    for (int i = 0; i < kCount; ++i) {
+      dom.retire(static_cast<void*>(new Tracked()),
+                 &cachetrie::mr::delete_as<Tracked>, kEach);
+    }
+    EXPECT_GE(dom.retired_bytes(), bytes0 + kEach * kCount);
+  }
+  EXPECT_GE(dom.retired_bytes_high_water(), hwm0);
+  EXPECT_GE(dom.retired_bytes_high_water(), kEach * kCount);
+  dom.drain_for_testing();
+  // Every byte accounted in must be accounted back out when freed.
+  EXPECT_LE(dom.retired_bytes(), bytes0);
+}
+
+TEST(Epoch, StalledReaderFallbackKeepsGarbageBounded) {
+  // One reader parks forever inside a guard — classic EBR would pin the
+  // epoch and let limbo grow for as long as the churn lasts. With a byte
+  // cap and the stall fallback, the reader must get declared stalled, the
+  // epoch must move past it, and limbo bytes must stay near the cap.
+  auto& dom = EpochDomain::instance();
+  dom.drain_for_testing();
+  Tracked::live.store(0);
+
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread victim([&] {
+    auto g = dom.pin();
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // Benign model violation: the "stalled" reader wakes and exits its
+    // guard without touching shared memory. Counted, not crashed.
+  });
+  while (!pinned.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  constexpr std::size_t kCap = 64 * 1024;
+  constexpr std::size_t kEach = 64;
+  dom.set_limbo_cap_bytes(kCap);
+  dom.set_stall_lag_epochs(4);
+  const std::uint64_t scans0 = dom.fallback_scans();
+  const std::uint64_t stalled0 = dom.stalled_records();
+  const std::uint64_t exits0 = dom.stalled_guard_exits();
+  const std::uint64_t epoch0 = dom.epoch();
+
+  std::size_t max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto g = dom.pin();
+    dom.retire(static_cast<void*>(new Tracked()),
+               &cachetrie::mr::delete_as<Tracked>, kEach);
+    max_seen = std::max(max_seen, dom.retired_bytes());
+  }
+
+  // The fallback ran, declared the victim, and the epoch moved past it.
+  EXPECT_GT(dom.fallback_scans(), scans0);
+  EXPECT_EQ(dom.stalled_records(), stalled0 + 1);
+  EXPECT_GE(dom.epoch(), epoch0 + 2);
+  // Bounded garbage: the brief overshoot is the handful of retirements it
+  // takes the fallback to declare the victim, not the whole churn.
+  EXPECT_LT(max_seen, kCap + 8 * 1024);
+
+  release.store(true, std::memory_order_release);
+  victim.join();
+  // The benign resume above is the one permitted declared-reader exit.
+  EXPECT_EQ(dom.stalled_guard_exits(), exits0 + 1);
+  EXPECT_EQ(dom.stalled_records(), stalled0);
+
+  dom.set_limbo_cap_bytes(EpochDomain::kNoLimboCap);
+  dom.set_stall_lag_epochs(EpochDomain::kDefaultStallLagEpochs);
   dom.drain_for_testing();
   EXPECT_EQ(Tracked::live.load(), 0);
 }

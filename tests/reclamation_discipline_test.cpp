@@ -31,6 +31,10 @@ struct AuditReclaimer {
     record(static_cast<void*>(p), &cachetrie::mr::delete_as<T>);
   }
   static void retire_raw(void* p, cachetrie::mr::Deleter d) { record(p, d); }
+  static void retire_raw_sized(void* p, cachetrie::mr::Deleter d,
+                               std::size_t) {
+    record(p, d);
+  }
 
   static void record(void* p, cachetrie::mr::Deleter d) {
     std::lock_guard<std::mutex> lock{mu_};
