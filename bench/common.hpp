@@ -17,6 +17,7 @@
 #include "cachetrie/cache_trie.hpp"
 #include "chashmap/chashmap.hpp"
 #include "ctrie/ctrie.hpp"
+#include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
@@ -77,6 +78,33 @@ inline void print_preamble(const char* figure, const char* description) {
               scale ? scale : "default");
   std::printf("hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
+}
+
+/// Canonical structure names used in the JSON artifacts — the same order
+/// the figure helpers return their Summary vectors in (CHM first: it is the
+/// baseline every table's ratios divide by).
+inline constexpr const char* kStructureNames[5] = {
+    "chm", "cachetrie", "cachetrie_nocache", "ctrie", "skiplist"};
+
+/// Adds one table row's five structure cells to the JSON report. `threads`
+/// 0 means single-threaded (the param is omitted); `ops_per_rep` is the
+/// operation count one rep performs (0 = not applicable).
+inline void report_row(cachetrie::harness::BenchReport& report,
+                       const std::string& op, std::size_t n, int threads,
+                       const std::vector<cachetrie::harness::Summary>& cells,
+                       std::uint64_t ops_per_rep = 0) {
+  for (std::size_t i = 0; i < cells.size() && i < 5; ++i) {
+    cachetrie::harness::BenchParams params{{"op", op},
+                                           {"n", std::to_string(n)}};
+    if (threads > 0) params.emplace_back("threads", std::to_string(threads));
+    report.add(kStructureNames[i], std::move(params), cells[i], ops_per_rep);
+  }
+}
+
+/// Writes the artifact; exits non-zero on I/O failure so CI never mistakes
+/// a dropped artifact for a clean run.
+inline int finish_report(const cachetrie::harness::BenchReport& report) {
+  return report.write() ? 0 : 1;
 }
 
 /// Thread counts swept by the parallel figures (paper: 1..8 on a 4c/8t i7).

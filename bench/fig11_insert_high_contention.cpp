@@ -41,6 +41,8 @@ int main() {
   const auto sizes = cachetrie::harness::by_scale<std::vector<std::size_t>>(
       {20000}, {50000, 200000, 600000}, {50000, 200000, 600000});
 
+  cachetrie::harness::BenchReport report{"fig11_insert_high_contention"};
+
   for (const std::size_t n : sizes) {
     const SharedKeys workload{n};
     std::printf("--- N = %zu ---\n", n);
@@ -58,6 +60,9 @@ int main() {
                           threads);
       const Summary slist = bench_contended(
           [] { return bench::SkipListMap{}; }, workload, threads);
+      bench::report_row(report, "insert_high_contention", n, threads,
+                        {chm, trie, trie_nc, ctrie, slist},
+                        static_cast<std::uint64_t>(n) * threads);
       auto cell = [&](const Summary& s) {
         return Table::fmt(s.mean_ms) + " (" +
                Table::fmt_ratio(s.mean_ms, chm.mean_ms) + ")";
@@ -72,5 +77,5 @@ int main() {
   std::printf(
       "expected shape (paper): cachetrie ~CHM at 50k (<=4T even ~10%%\n"
       "faster), 1.1-1.3x slower at 200k/600k; ctrie and skiplist slower.\n");
-  return 0;
+  return bench::finish_report(report);
 }

@@ -40,6 +40,8 @@ int main() {
   const auto totals = cachetrie::harness::by_scale<std::vector<std::size_t>>(
       {40000}, {100000, 1000000, 2000000}, {100000, 1000000, 10000000});
 
+  cachetrie::harness::BenchReport report{"fig12_insert_low_contention"};
+
   for (const std::size_t total : totals) {
     std::printf("--- N = %zu total ---\n", total);
     Table table{{"threads", "chm (ms)", "cachetrie", "w/o cache", "ctrie",
@@ -56,6 +58,8 @@ int main() {
           [] { return bench::CtrieMap{}; }, workload, threads);
       const Summary slist = bench_disjoint(
           [] { return bench::SkipListMap{}; }, workload, threads);
+      bench::report_row(report, "insert_low_contention", total, threads,
+                        {chm, trie, trie_nc, ctrie, slist}, total);
       auto cell = [&](const Summary& s) {
         return Table::fmt(s.mean_ms) + " (" +
                Table::fmt_ratio(s.mean_ms, chm.mean_ms) + ")";
@@ -70,5 +74,5 @@ int main() {
   std::printf(
       "expected shape (paper): cachetrie 1.3-1.5x FASTER than CHM at\n"
       "100k/1M, up to 1.2x faster at the largest size.\n");
-  return 0;
+  return bench::finish_report(report);
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# check.sh — build + run the fast test label under three toolchains:
-# plain, AddressSanitizer+UBSan, and ThreadSanitizer. Each configuration
-# gets its own build tree so they never fight over the CMake cache.
+# check.sh — build + run the fast test label under three toolchains
+# (plain, AddressSanitizer+UBSan, ThreadSanitizer), then a perf-smoke
+# regression gate (scripts/perf_gate.py vs the committed baseline). Each
+# configuration gets its own build tree so they never fight over the
+# CMake cache.
 #
-#   scripts/check.sh            # all three stages
-#   scripts/check.sh plain      # just one stage (plain | asan | tsan)
+#   scripts/check.sh            # all stages (plain, asan, tsan, perf)
+#   scripts/check.sh plain      # just one stage (plain | asan | tsan | perf)
 #
 # The fault label (fault-injection + stall-tolerant reclamation + progress
 # watchdog, see tests/*fault*, tests/watchdog_progress_test.cpp) runs in the
@@ -44,19 +46,41 @@ run_stage() {
   fi
 }
 
+# Perf-smoke stage: build the metrics-ON bench tree, run the fixed-size
+# canary, and gate the artifact against the committed baseline. Tolerances
+# are deliberately generous (+100% and 3 sigma) — the baseline was recorded
+# on one container; this catches order-of-magnitude breakage (an accidental
+# O(n) scan on the hot path), not single-digit drift.
+run_perf() {
+  local dir="$repo/build-check-perf"
+  echo "=== [perf] configure + build perf_smoke (metrics ON) ==="
+  cmake -B "$dir" -S "$repo" -DCACHETRIE_BUILD_TESTS=OFF \
+    -DCACHETRIE_BUILD_EXAMPLES=OFF -DCACHETRIE_BUILD_BENCH=ON \
+    -DCACHETRIE_METRICS=ON >/dev/null
+  cmake --build "$dir" -j "$jobs" --target perf_smoke >/dev/null
+  echo "=== [perf] run perf_smoke ==="
+  (cd "$dir" && ./bench/perf_smoke)
+  echo "=== [perf] gate vs committed baseline ==="
+  python3 "$repo/scripts/perf_gate.py" \
+    "$repo/bench/BENCH_smoke.baseline.json" "$dir/BENCH_smoke.json" \
+    --tolerance 1.0 --min-ms 0.5 --noise-stddevs 3
+}
+
 want="${1:-all}"
 
 case "$want" in
   plain) run_stage plain ;;
   asan) run_stage asan -DCACHETRIE_SANITIZE=ON ;;
   tsan) run_stage tsan -DCACHETRIE_TSAN=ON ;;
+  perf) run_perf ;;
   all)
     run_stage plain
     run_stage asan -DCACHETRIE_SANITIZE=ON
     run_stage tsan -DCACHETRIE_TSAN=ON
+    run_perf
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

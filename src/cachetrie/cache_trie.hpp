@@ -50,6 +50,7 @@
 #include "cachetrie/nodes.hpp"
 #include "cachetrie/stats.hpp"
 #include "mr/epoch.hpp"
+#include "obs/inventory.hpp"
 #include "testkit/chaos.hpp"
 #include "util/hashing.hpp"
 #include "util/rng.hpp"
@@ -140,7 +141,9 @@ class CacheTrie {
                             ? cache_head_.load(std::memory_order_acquire)
                             : nullptr;
     if (cache == nullptr) {
-      return lookup_rec(key, h, 0, root_, kNoCacheLevel);
+      const bool sample_depth =
+          (obs::sites::cachetrie_lookup_slow.add() & 63u) == 0u;
+      return lookup_rec(key, h, 0, root_, kNoCacheLevel, 0, sample_depth);
     }
     const std::int32_t cache_level = static_cast<std::int32_t>(cache->level);
     // Fast path (paper Fig. 6): probe cache levels, deepest first.
@@ -155,6 +158,12 @@ class CacheTrie {
           // the key absent (no other key shares this hash prefix, else an
           // ANode would occupy the position).
           bump_stat(&Stats::cache_fast_hits);
+          // One relaxed RMW on a private stripe; its return value doubles
+          // as a ~1/64 sampler for the depth histogram (depth 1: the
+          // cached SNode was the only dereference).
+          if ((obs::sites::cachetrie_cache_hit.add() & 63u) == 0u) {
+            obs::sites::cachetrie_lookup_depth.record(1);
+          }
           if (sn->hash == h && sn->key == key) return sn->value;
           return std::nullopt;
         }
@@ -177,11 +186,20 @@ class CacheTrie {
           }
         }
         bump_stat(&Stats::cache_fast_hits);
-        return lookup_rec(key, h, c->level, an, cache_level);
+        // Same counter as the SNode fast path, so its pre-add value keeps
+        // sampling one in 64 hits regardless of which hit kind fires.
+        const bool sample_depth =
+            (obs::sites::cachetrie_cache_hit.add() & 63u) == 0u;
+        return lookup_rec(key, h, c->level, an, cache_level, c->level,
+                          sample_depth);
       }
       // Anything else cached is stale; fall through to shallower levels.
     }
-    return lookup_rec(key, h, 0, root_, cache_level);
+    {
+      const bool sample_depth =
+          (obs::sites::cachetrie_lookup_slow.add() & 63u) == 0u;
+      return lookup_rec(key, h, 0, root_, cache_level, 0, sample_depth);
+    }
   }
 
   bool contains(const K& key) const { return lookup(key).has_value(); }
@@ -318,14 +336,27 @@ class CacheTrie {
     if (auto start = cache_start(h); start.node != nullptr) {
       const Res r = insert_rec(key, value, h, start.level, start.node,
                                nullptr, mode, expected);
-      if (r != Res::kRestart) return r;
+      if (r != Res::kRestart) return note_mutate_result(r);
     }
     while (true) {
       const Res r =
           insert_rec(key, value, h, 0, root_, nullptr, mode, expected);
-      if (r != Res::kRestart) return r;
+      if (r != Res::kRestart) return note_mutate_result(r);
       bump_stat(&Stats::root_restarts);
+      obs::sites::cachetrie_root_restart.add();
     }
+  }
+
+  /// Counts committed mutation outcomes — linearized before the count, so
+  /// after all threads join, insert_new - remove == size() exactly (the
+  /// obs_chaos_test invariant).
+  static Res note_mutate_result(Res r) noexcept {
+    if (r == Res::kNew) {
+      obs::sites::cachetrie_insert_new.add();
+    } else if (r == Res::kReplaced) {
+      obs::sites::cachetrie_replace.add();
+    }
+    return r;
   }
 
   struct CacheStart {
@@ -469,6 +500,7 @@ class CacheTrie {
           return Res::kReplaced;
         }
         delete sn;
+        obs::sites::cachetrie_txn_retry.add();
         return Res::kRetryLevel;
       }
       if (mode == Mode::kReplaceOnly || mode == Mode::kReplaceIfEquals) {
@@ -518,6 +550,7 @@ class CacheTrie {
         return Res::kNew;
       }
       destroy_subtree_value(subtree);
+      obs::sites::cachetrie_txn_retry.add();
       return Res::kRetryLevel;
     }
     if (txn == Sentinels::fs()) return Res::kRestart;  // frozen leaf
@@ -526,6 +559,7 @@ class CacheTrie {
     NodeBase* eo = osn;
     slot.compare_exchange_strong(eo, txn, std::memory_order_acq_rel,
                                  std::memory_order_acquire);
+    obs::sites::cachetrie_txn_retry.add();
     return Res::kRetryLevel;
   }
 
@@ -551,6 +585,7 @@ class CacheTrie {
         return Res::kNew;
       }
       destroy_subtree_value_sparing(subtree, chain);
+      obs::sites::cachetrie_txn_retry.add();
       return Res::kRetryLevel;
     }
     // Same full hash: rebuild the chain with the pair added or replaced.
@@ -584,6 +619,7 @@ class CacheTrie {
       return found ? Res::kReplaced : Res::kNew;
     }
     destroy_chain(fresh);
+    obs::sites::cachetrie_txn_retry.add();
     return Res::kRetryLevel;
   }
 
@@ -591,7 +627,9 @@ class CacheTrie {
 
   std::optional<V> lookup_rec(const K& key, std::uint64_t h,
                               std::uint32_t lev, const ANode* cur,
-                              std::int32_t cache_level) const {
+                              std::int32_t cache_level,
+                              std::uint32_t start_lev,
+                              bool sample_depth) const {
     // Fig. 6 line 3: passing the cache level on the way down lets the slow
     // path repopulate the cache.
     if (static_cast<std::int32_t>(lev) == cache_level) {
@@ -603,15 +641,16 @@ class CacheTrie {
     switch (old->kind) {
       case Kind::kANode:
         return lookup_rec(key, h, lev + 4, static_cast<const ANode*>(old),
-                          cache_level);
+                          cache_level, start_lev, sample_depth);
       case Kind::kSNode: {
         auto* sn = static_cast<SNodeT*>(old);
-        note_leaf_level(sn, lev + 4, cache_level);
+        note_leaf_level(sn, lev + 4, cache_level, start_lev, sample_depth);
         if (sn->hash == h && sn->key == key) return sn->value;
         return std::nullopt;
       }
       case Kind::kLNode: {
-        note_leaf_level(nullptr, lev + 4, cache_level);
+        note_leaf_level(nullptr, lev + 4, cache_level, start_lev,
+                        sample_depth);
         for (const LNodeT* l = static_cast<const LNodeT*>(old); l != nullptr;
              l = l->next) {
           if (l->hash == h && l->key == key) return l->value;
@@ -622,13 +661,15 @@ class CacheTrie {
         // A pending expansion/compression: continue read-only through the
         // still-intact target (linearizes before the replacement commits).
         auto* en = static_cast<ENode*>(old);
-        return lookup_rec(key, h, lev + 4, en->target, cache_level);
+        return lookup_rec(key, h, lev + 4, en->target, cache_level,
+                          start_lev, sample_depth);
       }
       case Kind::kFNode: {
         NodeBase* frozen = static_cast<FNode*>(old)->frozen;
         if (frozen->kind == Kind::kANode) {
           return lookup_rec(key, h, lev + 4,
-                            static_cast<const ANode*>(frozen), cache_level);
+                            static_cast<const ANode*>(frozen), cache_level,
+                            start_lev, sample_depth);
         }
         for (const LNodeT* l = static_cast<const LNodeT*>(frozen);
              l != nullptr; l = l->next) {
@@ -649,7 +690,19 @@ class CacheTrie {
   /// at level L serves leaves at L (direct) and L+4 (one hop through a
   /// cached ANode).
   void note_leaf_level(SNodeT* sn, std::uint32_t leaf_lev,
-                       std::int32_t cache_level) const {
+                       std::int32_t cache_level,
+                       std::uint32_t start_lev, bool sample_depth) const {
+    // Dereferences this descent performed: the nodes walked from the level
+    // the descent entered at (cached ANode, or the root) down to and
+    // including the leaf. Every lookup entry point derives `sample_depth`
+    // from its counter's pre-add value the same way the fast SNode path
+    // does, so the histogram is a uniform ~1/64 sample of the per-lookup
+    // depth distribution — unbiased across fast, one-hop and root-walk
+    // descents, and free on the 63-in-64 unsampled hot iterations.
+    if (sample_depth) {
+      obs::sites::cachetrie_lookup_depth.record((leaf_lev - start_lev) / 4 +
+                                                1);
+    }
     if (!config_.use_cache) return;
     // SNodes are always inhabited under their *own* hash, not the probing
     // hash: under a narrow parent two bits of the slot index are unpinned,
@@ -682,15 +735,18 @@ class CacheTrie {
       const Res r =
           remove_rec(key, h, start.level, start.node, nullptr, &out, expected);
       if (r != Res::kRestart) {
+        if (r == Res::kRemoved) obs::sites::cachetrie_remove.add();
         return r == Res::kRemoved ? std::move(out) : std::nullopt;
       }
     }
     while (true) {
       const Res r = remove_rec(key, h, 0, root_, nullptr, &out, expected);
       if (r != Res::kRestart) {
+        if (r == Res::kRemoved) obs::sites::cachetrie_remove.add();
         return r == Res::kRemoved ? std::move(out) : std::nullopt;
       }
       bump_stat(&Stats::root_restarts);
+      obs::sites::cachetrie_root_restart.add();
     }
   }
 
@@ -732,6 +788,7 @@ class CacheTrie {
               maybe_compress(cur, prev, h, lev);
               return Res::kRemoved;
             }
+            obs::sites::cachetrie_txn_retry.add();
             continue;
           }
           if (txn == Sentinels::fs()) return Res::kRestart;
@@ -739,6 +796,7 @@ class CacheTrie {
             NodeBase* eo = osn;
             slot.compare_exchange_strong(eo, txn, std::memory_order_acq_rel,
                                          std::memory_order_acquire);
+            obs::sites::cachetrie_txn_retry.add();
             continue;
           }
         }
@@ -784,6 +842,7 @@ class CacheTrie {
           }
           destroy_subtree_value(replacement);
           out->reset();
+          obs::sites::cachetrie_txn_retry.add();
           continue;
         }
         case Kind::kENode:
@@ -840,6 +899,9 @@ class CacheTrie {
   /// frozen recursively). Pending txns and nested announcements are
   /// completed along the way. Idempotent; any number of threads may help.
   void freeze(ANode* cur) {
+    // Counts freeze passes, helpers included — the helping rate under
+    // contention is itself the signal of interest.
+    obs::sites::cachetrie_freeze.add();
     std::uint32_t i = 0;
     while (i < cur->length) {
       // Freezing races other freezers slot-by-slot and pending txns get
@@ -946,6 +1008,11 @@ class CacheTrie {
         maybe_inhabit(committed, en->hash, en->level);
       }
       bump_stat(en->compress ? &Stats::compressions : &Stats::expansions);
+      if (en->compress) {
+        obs::sites::cachetrie_compress.add();
+      } else {
+        obs::sites::cachetrie_expand.add();
+      }
       retire_frozen(en->target, en->hash, en->level);
       Reclaimer::template retire<ENode>(en);
     }
@@ -1228,6 +1295,7 @@ class CacheTrie {
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
         bump_stat(&Stats::cache_installs);
+        obs::sites::cachetrie_cache_install.add();
       } else {
         CacheArray::destroy(fresh);
       }
@@ -1310,6 +1378,7 @@ class CacheTrie {
     CacheArray* cache = cache_head_.load(std::memory_order_acquire);
     if (cache == nullptr) return;
     bump_stat(&Stats::cache_misses_recorded);
+    obs::sites::cachetrie_cache_miss.add();
     auto& counter =
         cache->misses()[util::current_thread_id() % cache->miss_slots].value;
     const std::int64_t count = counter.load(std::memory_order_relaxed);
@@ -1327,11 +1396,16 @@ class CacheTrie {
   /// can pick a stale level, which the next pass corrects.
   void sample_and_adjust(CacheArray* head) const {
     bump_stat(&Stats::sampling_passes);
+    obs::sites::cachetrie_sampling_pass.add();
     std::array<std::uint32_t, 17> hist{};
     auto& rng = util::thread_rng();
     for (std::uint32_t s = 0; s < config_.sample_size; ++s) {
       const int lev = sample_path_leaf_level(rng.next());
-      if (lev >= 0) ++hist[static_cast<std::size_t>(lev) / 4];
+      if (lev >= 0) {
+        ++hist[static_cast<std::size_t>(lev) / 4];
+        obs::sites::cachetrie_sample_leaf_level.record(
+            static_cast<std::uint64_t>(lev) / 4);
+      }
     }
     std::size_t best_d = 0;
     std::uint64_t best_count = 0;
@@ -1399,6 +1473,7 @@ class CacheTrie {
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
         bump_stat(&Stats::cache_level_changes);
+        obs::sites::cachetrie_cache_level_change.add();
       } else {
         CacheArray::destroy(fresh);
       }
@@ -1415,6 +1490,7 @@ class CacheTrie {
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
       bump_stat(&Stats::cache_level_changes);
+      obs::sites::cachetrie_cache_level_change.add();
       // Retire the unlinked prefix [head, anc); readers inside guards may
       // still be walking it.
       for (CacheArray* c = head; c != anc;) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "mr/epoch.hpp"
+#include "obs/inventory.hpp"
 #include "testkit/chaos.hpp"
 #include "util/hashing.hpp"
 #include "util/padded.hpp"
@@ -271,6 +272,7 @@ class ConcurrentHashMap {
         expected = 0;
         backoff.pause();
       }
+      obs::sites::chm_bin_lock.add();
       // Holding the lock: stretch the critical section so lock-free
       // readers and empty-bin CASers overlap it.
       testkit::chaos_point("chm.bin_locked");
@@ -375,13 +377,17 @@ class ConcurrentHashMap {
   void start_or_help_transfer(Table* t) {
     testkit::chaos_point("chm.transfer_help");
     if (table_.load(std::memory_order_acquire) != t) return;  // superseded
+    obs::sites::chm_transfer_help.add();
     Table* next = t->next.load(std::memory_order_acquire);
     if (next == nullptr) {
       Table* fresh = Table::make(t->nbins * 2);
       Table* expected = nullptr;
-      if (!t->next.compare_exchange_strong(expected, fresh,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_acquire)) {
+      if (t->next.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        // Unique per doubling: this thread initiated the resize.
+        obs::sites::chm_resize.add();
+      } else {
         Table::destroy(fresh);
       }
       next = t->next.load(std::memory_order_acquire);
@@ -430,6 +436,7 @@ class ConcurrentHashMap {
   }
 
   void transfer_bin(Table* t, Table* next, std::size_t bi) {
+    obs::sites::chm_transfer_bin.add();
     BinLock lock{t, bi};
     while (true) {
       Node* head = t->bins()[bi].load(std::memory_order_acquire);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "mr/epoch.hpp"
+#include "obs/inventory.hpp"
 #include "testkit/chaos.hpp"
 #include "util/bits.hpp"
 #include "util/hashing.hpp"
@@ -544,6 +545,7 @@ class Ctrie {
       retire_main_container(expected);
       return true;
     }
+    obs::sites::ctrie_gcas_retry.add();
     return false;
   }
 
@@ -651,9 +653,11 @@ class Ctrie {
       }
       Reclaimer::retire_raw_sized(cn, &mr::free_raw_storage,
                                   CNode::alloc_size(cn->len));
+      obs::sites::ctrie_clean.add();
       return;
     }
     // Lost the race: everything we built is unpublished.
+    obs::sites::ctrie_gcas_retry.add();
     for (const auto& r : recs) delete r.copy;
     if (tombs) {
       delete static_cast<TNodeT*>(desired)->sn;
@@ -696,7 +700,9 @@ class Ctrie {
         // was consumed by to_contracted's container and never published.
         delete resurrected;
       }
+      obs::sites::ctrie_clean_parent.add();
     } else {
+      obs::sites::ctrie_gcas_retry.add();
       if (contracted != ncn) {
         delete static_cast<TNodeT*>(contracted)->sn;
         delete static_cast<TNodeT*>(contracted);

@@ -42,6 +42,18 @@ inline Scale scale_from_env() {
   return Scale::kDefault;
 }
 
+/// Human/JSON name of the active scale profile.
+inline const char* scale_name() {
+  switch (scale_from_env()) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kPaper:
+      return "paper";
+    default:
+      return "default";
+  }
+}
+
 /// Picks one of three values by the active scale profile.
 template <typename T>
 T by_scale(T smoke, T dflt, T paper) {

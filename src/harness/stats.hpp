@@ -28,6 +28,10 @@ class RunningStats {
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
+  /// *Sample* variance (Bessel-corrected, n-1 denominator) — the reps are a
+  /// sample of the benchmark's run distribution, matching the ScalaMeter
+  /// protocol EXPERIMENTS.md specifies. Locked in by
+  /// Stats.StddevIsSampleNotPopulation; do not "simplify" to m2_/n.
   double variance() const noexcept {
     return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
   }

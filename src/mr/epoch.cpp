@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace cachetrie::mr {
 
 namespace {
@@ -23,6 +25,30 @@ EpochDomain::EpochDomain() {
       std::memory_order_relaxed);
   set_stall_lag_epochs(
       env_u64("CACHETRIE_STALL_LAG_EPOCHS", kDefaultStallLagEpochs));
+  // Fold this domain's own counters into obs snapshots as callback gauges:
+  // the domain stays the single owner of the numbers (no double
+  // bookkeeping), and registry.reset() cannot zero them out from under it.
+  // The domain is a function-local static, so the callbacks never outlive
+  // their source within a snapshot's reach.
+  auto& reg = obs::registry();
+  auto g = [this](auto member) {
+    return [this, member]() {
+      return static_cast<std::int64_t>((this->*member)());
+    };
+  };
+  reg.register_gauge_fn("mr.epoch.epoch", g(&EpochDomain::epoch));
+  reg.register_gauge_fn("mr.epoch.retired", g(&EpochDomain::retired_count));
+  reg.register_gauge_fn("mr.epoch.freed", g(&EpochDomain::freed_count));
+  reg.register_gauge_fn("mr.epoch.limbo_bytes",
+                        g(&EpochDomain::retired_bytes));
+  reg.register_gauge_fn("mr.epoch.limbo_bytes_hwm",
+                        g(&EpochDomain::retired_bytes_high_water));
+  reg.register_gauge_fn("mr.epoch.stalled_records",
+                        g(&EpochDomain::stalled_records));
+  reg.register_gauge_fn("mr.epoch.fallback_scans",
+                        g(&EpochDomain::fallback_scans));
+  reg.register_gauge_fn("mr.epoch.stalled_guard_exits",
+                        g(&EpochDomain::stalled_guard_exits));
 }
 
 EpochDomain& EpochDomain::instance() {

@@ -1,0 +1,561 @@
+// metrics.hpp — lock-free, compile-time-gated observability substrate.
+//
+// The paper's central claims are quantitative (expected depth <= log16 n,
+// cache hits collapsing lookups to 1-2 dereferences, miss-counter-driven
+// cache growth), and the companion analysis report (arXiv:1712.09636)
+// derives the distributions the runtime should exhibit. This layer makes
+// those internals observable without perturbing them:
+//
+//   * Counter   — monotone event count, striped over cache-line-padded
+//                 slots so concurrent recorders never share a line. A
+//                 record is one relaxed fetch_add on a (mostly)
+//                 thread-private slot; reads sum the stripes. Totals are
+//                 exact after quiescence and monotone at all times (each
+//                 stripe is monotone, and repeated relaxed loads of one
+//                 atomic respect its modification order).
+//   * Histogram — mergeable bucketed distribution: exact unit buckets for
+//                 values < 16 (depths, level counts) and log2 buckets
+//                 above (latencies, byte sizes). Striped like Counter;
+//                 merging is bucket-wise addition, so per-stripe, per-run
+//                 and per-machine histograms all combine losslessly.
+//   * Gauge     — a settable level, plus registered *callback* gauges that
+//                 sample an external source at snapshot time (used to fold
+//                 the mr/ epoch-limbo and stall counters into snapshots
+//                 without double-bookkeeping).
+//   * Registry  — process-wide name -> metric table. Snapshots merge the
+//                 stripes into plain structs with JSON and human-table
+//                 emitters; reset() zeroes counters/histograms (callback
+//                 gauges re-sample, so they are unaffected).
+//
+// Build modes (mirrors testkit/chaos.hpp):
+//   * CACHETRIE_METRICS on (default via CMake option): the above.
+//   * CACHETRIE_METRICS off: Counter/Histogram/Gauge alias the Null*
+//     handles below — empty, constexpr-constructible types whose members
+//     are constexpr no-ops, so every record site compiles to nothing and
+//     embedding a handle adds zero bytes ([[no_unique_address]]-friendly).
+//     The Null* types are defined unconditionally so the zero-size
+//     guarantee is static_assert-enforced even in metrics-on test builds.
+//
+// Recording is lock-free (wait-free, in fact: one relaxed RMW); only
+// registration (cold: first use of a name) and snapshot/reset take the
+// registry mutex.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/padded.hpp"
+
+namespace cachetrie::obs {
+
+// --- bucket geometry (unconditional: unit below 16, log2 above) -----------
+
+/// Unit buckets 0..15 hold exact small values (trie depths, dereference
+/// counts); bucket 16 + k holds [2^(4+k), 2^(5+k)). The last bucket tops
+/// out at 2^64 - 1.
+inline constexpr std::size_t kHistBuckets = 76;
+
+constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+  return v < 16 ? static_cast<std::size_t>(v)
+                : 11 + static_cast<std::size_t>(std::bit_width(v));
+}
+
+constexpr std::uint64_t bucket_lower_bound(std::size_t b) noexcept {
+  return b < 16 ? b : (std::uint64_t{1} << (b - 12));
+}
+
+constexpr std::uint64_t bucket_upper_bound(std::size_t b) noexcept {
+  if (b < 16) return b;
+  if (b >= kHistBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << (b - 11)) - 1;
+}
+
+static_assert(bucket_index(0) == 0 && bucket_index(15) == 15);
+static_assert(bucket_index(16) == 16 && bucket_index(31) == 16);
+static_assert(bucket_index(32) == 17);
+static_assert(bucket_index(~std::uint64_t{0}) == kHistBuckets - 1);
+static_assert(bucket_lower_bound(16) == 16 && bucket_upper_bound(16) == 31);
+
+// --- snapshot (unconditional plain data) -----------------------------------
+
+/// Point-in-time merged view of the registry. Plain values — safe to hold
+/// across resets, compare between runs, or serialize.
+struct Snapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct Histogram {
+    std::string name;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    std::uint64_t count = 0;  // == sum of buckets
+    std::uint64_t sum = 0;
+
+    double mean() const noexcept {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Upper bound of the bucket containing the p-quantile (p in [0,1]).
+    std::uint64_t quantile_upper_bound(double p) const noexcept {
+      if (count == 0) return 0;
+      const double target = p * static_cast<double>(count);
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        cum += buckets[b];
+        if (static_cast<double>(cum) >= target && cum > 0) {
+          return bucket_upper_bound(b);
+        }
+      }
+      return bucket_upper_bound(kHistBuckets - 1);
+    }
+
+    /// Fraction of recorded values <= v (resolution: bucket boundaries;
+    /// exact for v < 16 thanks to the unit buckets).
+    double fraction_at_most(std::uint64_t v) const noexcept {
+      if (count == 0) return 0.0;
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b <= bucket_index(v); ++b) cum += buckets[b];
+      return static_cast<double>(cum) / static_cast<double>(count);
+    }
+
+    /// Bucket-wise addition — the merge operation that makes per-stripe,
+    /// per-thread and per-run histograms combine losslessly.
+    void merge(const Histogram& other) noexcept {
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        buckets[b] += other.buckets[b];
+      }
+      count += other.count;
+      sum += other.sum;
+    }
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+
+  std::uint64_t counter_value(std::string_view name) const noexcept {
+    for (const auto& c : counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  }
+
+  const Gauge* find_gauge(std::string_view name) const noexcept {
+    for (const auto& g : gauges) {
+      if (g.name == name) return &g;
+    }
+    return nullptr;
+  }
+
+  const Histogram* find_histogram(std::string_view name) const noexcept {
+    for (const auto& h : histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  }
+
+  // Emitters are defined in json.hpp-free form here to keep this header
+  // self-contained; the JSON shape is documented in DESIGN.md §2d.
+  void write_json(std::ostream& os) const;
+  void print_table(std::ostream& os) const;
+};
+
+// --- zero-cost handles (unconditional; the OFF configuration) --------------
+//
+// These are what Counter/Histogram/Gauge alias when CACHETRIE_METRICS is
+// off. Empty, constexpr-constructible, every member a constant no-op: a
+// record site compiles to literally nothing, and the types stay visible in
+// metrics-on builds so tests can static_assert the guarantee.
+
+struct NullCounter {
+  constexpr explicit NullCounter(const char*) noexcept {}
+  /// Returns the pre-add per-stripe value (always 0 here) so call sites can
+  /// derive a sampling decision that dead-codes away in OFF builds.
+  constexpr std::uint64_t add(std::uint64_t = 1) const noexcept { return 0; }
+  constexpr std::uint64_t total() const noexcept { return 0; }
+};
+
+struct NullHistogram {
+  constexpr explicit NullHistogram(const char*) noexcept {}
+  constexpr void record(std::uint64_t) const noexcept {}
+};
+
+struct NullGauge {
+  constexpr explicit NullGauge(const char*) noexcept {}
+  constexpr void set(std::int64_t) const noexcept {}
+  constexpr void add(std::int64_t) const noexcept {}
+  constexpr std::int64_t value() const noexcept { return 0; }
+};
+
+static_assert(std::is_empty_v<NullCounter> && std::is_empty_v<NullHistogram> &&
+              std::is_empty_v<NullGauge>);
+
+#if defined(CACHETRIE_METRICS) && CACHETRIE_METRICS
+
+inline constexpr bool kMetricsCompiled = true;
+
+namespace detail {
+
+/// Stripe count: power of two, sized like Config::miss_slots (the paper's
+/// THROUGHPUT_FACTOR * #CPU miss array, §3.6) — enough that concurrent
+/// recorders rarely collide, small enough to sum cheaply.
+inline constexpr std::size_t kStripes = 16;
+
+inline std::size_t stripe_index() noexcept {
+  // Deliberately NOT util::current_thread_id(): that is a thread_local, and
+  // this build forces the global-dynamic TLS model, so every access is a
+  // __tls_get_addr call — measured at +25-50% on the cache-hit lookup path.
+  // A local's address is a free per-thread discriminator instead: thread
+  // stacks sit megabytes apart, so the page number differs across threads,
+  // and a thread re-entering the same record site sees the same frame
+  // address. The page number is Fibonacci-hashed rather than masked because
+  // glibc spaces stacks at multiples of the stack size (8 MiB = 2048 pages,
+  // divisible by kStripes) — a plain mask would alias every thread onto one
+  // stripe. Occasional intra-thread stripe drift between call sites is
+  // harmless — every cell is atomic, so totals stay exact and stripes stay
+  // monotone.
+  static_assert(std::has_single_bit(kStripes));
+  constexpr int kShift = 64 - std::countr_zero(kStripes);
+  const int probe = 0;
+  const auto page = reinterpret_cast<std::uintptr_t>(&probe) >> 12;
+  return static_cast<std::size_t>(
+      (page * std::uintptr_t{0x9e3779b97f4a7c15}) >> kShift);
+}
+
+struct alignas(util::kCacheLineSize) CounterCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct CounterCells {
+  std::array<CounterCell, kStripes> cells{};
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& c : cells) t += c.v.load(std::memory_order_relaxed);
+    return t;
+  }
+  void reset() noexcept {
+    for (auto& c : cells) c.v.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct alignas(util::kCacheLineSize) HistStripe {
+  std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+  std::atomic<std::uint64_t> sum{0};
+};
+
+struct HistCells {
+  std::array<HistStripe, kStripes> stripes{};
+
+  void reset() noexcept {
+    for (auto& s : stripes) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct GaugeCell {
+  std::atomic<std::int64_t> v{0};
+};
+
+}  // namespace detail
+
+class Registry;
+
+/// Striped monotone event counter. Handles are one pointer; any number of
+/// handles constructed with the same name share storage.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+
+  /// Records n events. Returns the written stripe's *previous* value —
+  /// callers use it for cheap 1-in-2^k sampling decisions without a second
+  /// atomic (`if ((c.add() & 63) == 0) hist.record(...)`).
+  std::uint64_t add(std::uint64_t n = 1) noexcept {
+    return cells_->cells[detail::stripe_index()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept { return cells_->total(); }
+
+ private:
+  detail::CounterCells* cells_;
+};
+
+/// Striped unit/log2 histogram (see bucket geometry above).
+class Histogram {
+ public:
+  explicit Histogram(const char* name);
+
+  void record(std::uint64_t v) noexcept {
+    auto& s = cells_->stripes[detail::stripe_index()];
+    s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::HistCells* cells_;
+};
+
+/// Settable level (single atomic; gauges are read far more than written).
+class Gauge {
+ public:
+  explicit Gauge(const char* name);
+
+  void set(std::int64_t v) noexcept {
+    cell_->v.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    cell_->v.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return cell_->v.load(std::memory_order_relaxed);
+  }
+
+ private:
+  detail::GaugeCell* cell_;
+};
+
+/// Process-wide metric table. Leak-free Meyers singleton: constructed on
+/// first use (which static-initialization of the inventory handles forces
+/// before main), destroyed after every handle (handles are trivially
+/// destructible and nothing records during static destruction).
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  detail::CounterCells* counter_cells(const char* name) {
+    std::lock_guard<std::mutex> lk{mu_};
+    return find_or_create(counters_, name);
+  }
+  detail::HistCells* hist_cells(const char* name) {
+    std::lock_guard<std::mutex> lk{mu_};
+    return find_or_create(hists_, name);
+  }
+  detail::GaugeCell* gauge_cell(const char* name) {
+    std::lock_guard<std::mutex> lk{mu_};
+    return find_or_create(gauges_, name);
+  }
+
+  /// Registers a gauge whose value is sampled by calling `fn` at snapshot
+  /// time — how external subsystems (the mr/ epoch domain) fold their own
+  /// counters into snapshots without double bookkeeping.
+  void register_gauge_fn(std::string name,
+                         std::function<std::int64_t()> fn) {
+    std::lock_guard<std::mutex> lk{mu_};
+    gauge_fns_.emplace_back(std::move(name), std::move(fn));
+  }
+
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lk{mu_};
+    Snapshot s;
+    s.counters.reserve(counters_.size());
+    for (const auto& [name, cells] : counters_) {
+      s.counters.push_back({name, cells->total()});
+    }
+    for (const auto& [name, cell] : gauges_) {
+      s.gauges.push_back({name, cell->v.load(std::memory_order_relaxed)});
+    }
+    for (const auto& [name, fn] : gauge_fns_) {
+      s.gauges.push_back({name, fn()});
+    }
+    for (const auto& [name, cells] : hists_) {
+      Snapshot::Histogram h;
+      h.name = name;
+      for (const auto& stripe : cells->stripes) {
+        for (std::size_t b = 0; b < kHistBuckets; ++b) {
+          const std::uint64_t n =
+              stripe.buckets[b].load(std::memory_order_relaxed);
+          h.buckets[b] += n;
+          h.count += n;
+        }
+        h.sum += stripe.sum.load(std::memory_order_relaxed);
+      }
+      s.histograms.push_back(std::move(h));
+    }
+    return s;
+  }
+
+  /// Zeroes counters, histograms and settable gauges. Callback gauges
+  /// re-sample their source and are unaffected. Totals are exact only
+  /// against recordings that completed before the reset (concurrent
+  /// recorders may land on either side — same caveat as Stats).
+  void reset() {
+    std::lock_guard<std::mutex> lk{mu_};
+    for (auto& [name, cells] : counters_) cells->reset();
+    for (auto& [name, cells] : hists_) cells->reset();
+    for (auto& [name, cell] : gauges_) {
+      cell->v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  template <typename T>
+  static T* find_or_create(
+      std::vector<std::pair<std::string, std::unique_ptr<T>>>& table,
+      const char* name) {
+    for (auto& [n, ptr] : table) {
+      if (n == name) return ptr.get();
+    }
+    table.emplace_back(name, std::make_unique<T>());
+    return table.back().second.get();
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<detail::CounterCells>>>
+      counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<detail::HistCells>>>
+      hists_;
+  std::vector<std::pair<std::string, std::unique_ptr<detail::GaugeCell>>>
+      gauges_;
+  std::vector<std::pair<std::string, std::function<std::int64_t()>>>
+      gauge_fns_;
+};
+
+inline Counter::Counter(const char* name)
+    : cells_(Registry::instance().counter_cells(name)) {}
+inline Histogram::Histogram(const char* name)
+    : cells_(Registry::instance().hist_cells(name)) {}
+inline Gauge::Gauge(const char* name)
+    : cell_(Registry::instance().gauge_cell(name)) {}
+
+#else  // !CACHETRIE_METRICS
+
+inline constexpr bool kMetricsCompiled = false;
+
+using Counter = NullCounter;
+using Histogram = NullHistogram;
+using Gauge = NullGauge;
+
+/// No-op control surface so metrics-aware code compiles in both modes.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+  template <typename F>
+  void register_gauge_fn(std::string, F&&) {}
+  Snapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+#endif  // CACHETRIE_METRICS
+
+/// Shorthand used by instrumentation sites and tests.
+inline Registry& registry() { return Registry::instance(); }
+
+// --- snapshot emitters ------------------------------------------------------
+
+namespace detail_emit {
+
+inline void json_escape(std::ostream& os, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xf] << hex[ch & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace detail_emit
+
+/// Machine-readable form: counters/gauges as name -> value maps; histograms
+/// as sparse [bucket_lower_bound, count] pairs plus count/sum.
+inline void Snapshot::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"";
+    detail_emit::json_escape(os, counters[i].name);
+    os << "\":" << counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"";
+    detail_emit::json_escape(os, gauges[i].name);
+    os << "\":" << gauges[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i != 0) os << ",";
+    const auto& h = histograms[i];
+    os << "\"";
+    detail_emit::json_escape(os, h.name);
+    os << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "[" << bucket_lower_bound(b) << "," << h.buckets[b] << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+/// Human form, aligned like harness::Table's output.
+inline void Snapshot::print_table(std::ostream& os) const {
+  std::size_t width = 0;
+  for (const auto& c : counters) width = std::max(width, c.name.size());
+  for (const auto& g : gauges) width = std::max(width, g.name.size());
+  for (const auto& h : histograms) width = std::max(width, h.name.size());
+  auto pad = [&](const std::string& name) {
+    os << "  " << name << std::string(width - name.size() + 2, ' ');
+  };
+  for (const auto& c : counters) {
+    pad(c.name);
+    os << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    pad(g.name);
+    os << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    pad(h.name);
+    os << "count " << h.count << "  mean " << h.mean() << "  p50<="
+       << h.quantile_upper_bound(0.5) << "  p99<="
+       << h.quantile_upper_bound(0.99) << "\n";
+  }
+}
+
+}  // namespace cachetrie::obs

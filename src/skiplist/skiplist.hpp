@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "mr/epoch.hpp"
+#include "obs/inventory.hpp"
 #include "testkit/chaos.hpp"
 #include "util/rng.hpp"
 #include "util/spinwait.hpp"
@@ -162,6 +163,7 @@ class ConcurrentSkipList {
       testkit::chaos_point("csl.link_bottom");
       if (!head_level_cas(preds[0], 0, expected, pack(n, false))) {
         Node::destroy(n);  // never published
+        obs::sites::csl_cas_retry.add();
         continue;
       }
       link_upper_levels(n, top, key, preds, succs);
@@ -194,6 +196,7 @@ class ConcurrentSkipList {
       testkit::chaos_point("csl.link_bottom");
       if (!head_level_cas(preds[0], 0, expected, pack(n, false))) {
         Node::destroy(n);
+        obs::sites::csl_cas_retry.add();
         continue;
       }
       link_upper_levels(n, top, key, preds, succs);
@@ -394,6 +397,7 @@ class ConcurrentSkipList {
   /// the freeze and report a false absent. The top-down order restores the
   /// invariant "bottom-marked implies marked everywhere above".
   static void help_mark(Node* n) {
+    obs::sites::csl_help_mark.add();
     for (int lev = n->top_level; lev >= 1; --lev) {
       testkit::chaos_point("csl.mark_upper");
       std::uintptr_t t = n->next()[lev].load(std::memory_order_seq_cst);
@@ -445,6 +449,7 @@ class ConcurrentSkipList {
           break;
         }
         // Predecessor changed: recompute the neighborhood.
+        obs::sites::csl_cas_retry.add();
         if (find(key, preds, succs)) {
           if (succs[0] != n) return;  // our node vanished (removed)
         } else {
@@ -475,6 +480,7 @@ class ConcurrentSkipList {
           if (!pred->next()[lev].compare_exchange_strong(
                   expected, pack(ptr_of(succ_t), false),
                   std::memory_order_seq_cst)) {
+            obs::sites::csl_cas_retry.add();
             goto retry;
           }
           curr = ptr_of(succ_t);

@@ -8,6 +8,7 @@
 
 #include "cachetrie/cache_trie.hpp"
 #include "harness/workload.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -159,6 +160,107 @@ TEST(CacheBehavior, WithoutCacheNoStatsAccumulate) {
   EXPECT_EQ(trie.cache_level(), -1);
   EXPECT_EQ(trie.stats().cache_fast_hits.load(), 0u);
   EXPECT_EQ(trie.stats().cache_installs.load(), 0u);
+}
+
+// --- telemetry-based invariants (obs/ layer; paper §3.4 + Theorem 4.2) -----
+//
+// The two tests below verify the paper's cache claims through the external
+// metrics layer rather than the trie's internal Stats — exercising the same
+// counters operators would watch in production.
+
+TEST(CacheBehaviorTelemetry, HitRateRisesTowardOneOnWarmReadOnlyPhase) {
+  if (!cachetrie::obs::kMetricsCompiled) {
+    GTEST_SKIP() << "metrics compiled out (CACHETRIE_METRICS=0)";
+  }
+  auto& reg = cachetrie::obs::registry();
+  Trie trie{stats_config()};
+  const auto keys = cachetrie::harness::random_keys(300000);
+  constexpr std::size_t kProbe = 200;  // fixed probe set, re-looked-up later
+
+  auto probe_hit_rate = [&] {
+    const auto before = reg.snapshot().counter_value("cachetrie.cache.hit");
+    for (std::size_t i = 0; i < kProbe; ++i) (void)trie.lookup(keys[i]);
+    const auto after = reg.snapshot().counter_value("cachetrie.cache.hit");
+    return static_cast<double>(after - before) / kProbe;
+  };
+
+  // Cold: only the probe keys are inserted. The trie is shallow, so the
+  // cache either does not exist yet or covers almost none of these keys —
+  // probing them goes through the slow path.
+  for (std::size_t i = 0; i < kProbe; ++i) trie.insert(keys[i], keys[i]);
+  const double cold = probe_hit_rate();
+
+  // Warm-up: grow to full size (inserts deepen the trie and create the
+  // cache), then read-only passes settle the level and inhabit entries.
+  for (std::size_t i = kProbe; i < keys.size(); ++i) {
+    trie.insert(keys[i], keys[i]);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (auto k : keys) (void)trie.lookup(k);
+  }
+  const double warm = probe_hit_rate();
+
+  EXPECT_LT(cold, warm);
+  EXPECT_GT(warm, 0.9) << "warm read-only phase should be nearly all cache "
+                          "hits (paper §3.4)";
+}
+
+TEST(CacheBehaviorTelemetry, SampledDepthAtMostTwoAfterCacheGrowth) {
+  if (!cachetrie::obs::kMetricsCompiled) {
+    GTEST_SKIP() << "metrics compiled out (CACHETRIE_METRICS=0)";
+  }
+  auto& reg = cachetrie::obs::registry();
+  Trie trie{stats_config()};
+  // Population size matters for the 90% bound: 50k random keys concentrate
+  // on levels 16/20 (Theorem 4.2's two adjacent levels), exactly the pair
+  // a settled level-16 cache serves in 1-2 dereferences. A population
+  // straddling 20/24 instead (e.g. 300k keys) legitimately takes a third
+  // dereference for the deeper level while the cache sits at 16 — that is
+  // the theorem's shape, not a cache defect.
+  const auto keys = cachetrie::harness::random_keys(50000);
+  for (auto k : keys) trie.insert(k, k);
+  // Warm until the cache has grown and every key's entry is inhabited —
+  // four full passes settle level adaptation on this population.
+  for (int round = 0; round < 4; ++round) {
+    for (auto k : keys) (void)trie.lookup(k);
+  }
+  ASSERT_GE(trie.cache_level(), 8);
+
+  const auto before = reg.snapshot();
+  const auto* h0 = before.find_histogram("cachetrie.lookup.depth");
+  ASSERT_NE(h0, nullptr);
+  const auto hit0 = before.counter_value("cachetrie.cache.hit");
+  // Two measured passes just to double the ~1/64 depth sample count.
+  for (int round = 0; round < 2; ++round) {
+    for (auto k : keys) (void)trie.lookup(k);
+  }
+  const auto after = reg.snapshot();
+  const auto* h1 = after.find_histogram("cachetrie.lookup.depth");
+  ASSERT_NE(h1, nullptr);
+  const std::uint64_t hits = after.counter_value("cachetrie.cache.hit") - hit0;
+  const double lookups = 2.0 * static_cast<double>(keys.size());
+
+  // Delta histogram of just the measured passes. Every lookup entry point
+  // (fast SNode hit, one-hop ANode hit, root walk) samples its depth with
+  // the same 1-in-64 counter-return trick, so the delta is an unbiased
+  // systematic sample of the per-lookup depth distribution and its CDF can
+  // be read off directly. ~1560 samples expected; at this population the
+  // true <=2 fraction is ~0.95, putting the 0.9 threshold several binomial
+  // standard deviations away.
+  cachetrie::obs::Snapshot::Histogram delta = *h1;
+  for (std::size_t b = 0; b < cachetrie::obs::kHistBuckets; ++b) {
+    delta.buckets[b] -= h0->buckets[b];
+  }
+  delta.count -= h0->count;
+  delta.sum -= h0->sum;
+  ASSERT_GT(delta.count, lookups / 64.0 * 0.5);
+  // Sanity on the companion signal: a settled cache serves essentially
+  // every lookup on this read-only workload.
+  EXPECT_GT(static_cast<double>(hits), 0.95 * lookups);
+  EXPECT_GE(delta.fraction_at_most(2), 0.9)
+      << "after cache growth, >=90% of lookups should resolve within 2 "
+         "dereferences (Theorem 4.2 / paper §3.4); sampled=" << delta.count
+      << " hits=" << hits;
 }
 
 TEST(CacheBehavior, PinnedCacheLevelStaysPinned) {

@@ -26,6 +26,23 @@ TEST(Stats, RunningStatsBasics) {
   EXPECT_EQ(rs.count(), 8u);
 }
 
+TEST(Stats, StddevIsSampleNotPopulation) {
+  // Regression lock: variance() must divide by n-1 (Bessel-corrected
+  // sample variance), not n. Bench reps are a sample of the run-time
+  // distribution, and perf_gate.py's noise allowance is calibrated for
+  // the sample estimator. {1, 5}: sample variance 8 (stddev 2*sqrt(2)),
+  // population variance would be 4 (stddev 2).
+  RunningStats rs;
+  rs.add(1.0);
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 8.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0 * std::sqrt(2.0));
+  // A single observation has no spread estimate; by convention 0, not NaN.
+  RunningStats one;
+  one.add(3.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+}
+
 TEST(Stats, CovOfConstantSeriesIsZero) {
   RunningStats rs;
   for (int i = 0; i < 10; ++i) rs.add(3.5);

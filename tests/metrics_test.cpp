@@ -1,0 +1,273 @@
+// metrics_test.cpp — unit tests of the obs/ observability substrate:
+// bucket geometry, striped counter/histogram exactness under concurrency,
+// snapshot-vs-reset semantics, and the static zero-size guarantee the OFF
+// configuration relies on.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace obs = cachetrie::obs;
+
+namespace {
+
+// --- bucket geometry (compile-time + runtime spot checks) ------------------
+
+// The static_asserts in metrics.hpp already pin the corners; these pin the
+// general shape so a bucket-math refactor cannot silently shift boundaries.
+static_assert(obs::bucket_index(1) == 1);
+static_assert(obs::bucket_index(15) == 15);
+static_assert(obs::bucket_index(16) == 16);
+static_assert(obs::bucket_index(17) == 16);
+static_assert(obs::bucket_index(63) == 17);
+static_assert(obs::bucket_index(64) == 18);
+static_assert(obs::bucket_lower_bound(17) == 32);
+static_assert(obs::bucket_upper_bound(17) == 63);
+
+TEST(MetricsBuckets, UnitBucketsAreExactBelow16) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(obs::bucket_index(v), v);
+    EXPECT_EQ(obs::bucket_lower_bound(v), v);
+    EXPECT_EQ(obs::bucket_upper_bound(v), v);
+  }
+}
+
+TEST(MetricsBuckets, Log2BucketsPartitionTheRange) {
+  // Every bucket's lower bound maps back into that bucket, every upper
+  // bound too, and bucket b+1 starts exactly after bucket b ends.
+  for (std::size_t b = 16; b + 1 < obs::kHistBuckets; ++b) {
+    EXPECT_EQ(obs::bucket_index(obs::bucket_lower_bound(b)), b);
+    EXPECT_EQ(obs::bucket_index(obs::bucket_upper_bound(b)), b);
+    EXPECT_EQ(obs::bucket_lower_bound(b + 1),
+              obs::bucket_upper_bound(b) + 1);
+  }
+  EXPECT_EQ(obs::bucket_index(~std::uint64_t{0}), obs::kHistBuckets - 1);
+}
+
+// --- OFF configuration: zero-size, constexpr no-op handles -----------------
+
+// The whole point of the Null* trio: a record site in a metrics-off build
+// must cost literally nothing. Enforced here statically so a metrics-ON
+// test run still guards the OFF contract.
+static_assert(std::is_empty_v<obs::NullCounter>);
+static_assert(std::is_empty_v<obs::NullHistogram>);
+static_assert(std::is_empty_v<obs::NullGauge>);
+static_assert(std::is_trivially_destructible_v<obs::NullCounter>);
+static_assert(std::is_trivially_destructible_v<obs::NullHistogram>);
+static_assert(std::is_trivially_destructible_v<obs::NullGauge>);
+
+// Null handles must be usable in constant expressions — proof that every
+// member is a compile-time no-op, not merely cheap.
+constexpr std::uint64_t null_counter_probe() {
+  obs::NullCounter c{"probe"};
+  return c.add(7) + c.add() + c.total();
+}
+static_assert(null_counter_probe() == 0);
+
+constexpr bool null_hist_gauge_probe() {
+  obs::NullHistogram h{"probe"};
+  h.record(123);
+  obs::NullGauge g{"probe"};
+  g.set(5);
+  g.add(-5);
+  return g.value() == 0;
+}
+static_assert(null_hist_gauge_probe());
+
+// In an OFF build the public aliases ARE the Null types.
+#if !CACHETRIE_METRICS
+static_assert(std::is_same_v<obs::Counter, obs::NullCounter>);
+static_assert(std::is_same_v<obs::Histogram, obs::NullHistogram>);
+static_assert(std::is_same_v<obs::Gauge, obs::NullGauge>);
+static_assert(!obs::kMetricsCompiled);
+#else
+static_assert(obs::kMetricsCompiled);
+#endif
+
+// --- live substrate (metrics-on builds only) -------------------------------
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::kMetricsCompiled) {
+      GTEST_SKIP() << "metrics compiled out (CACHETRIE_METRICS=0)";
+    }
+    obs::registry().reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterTotalsAreExactAcrossThreads) {
+  obs::Counter c{"test.counter.exact"};
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> team;
+  team.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& th : team) th.join();
+  EXPECT_EQ(c.total(), kThreads * kPerThread);
+  EXPECT_EQ(obs::registry().snapshot().counter_value("test.counter.exact"),
+            kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterAddReturnsPreviousStripeValue) {
+  // The 1-in-2^k sampling idiom depends on add() returning the stripe's
+  // pre-add value: the very first record on a thread samples.
+  obs::Counter c{"test.counter.sampling"};
+  EXPECT_EQ(c.add(), 0u);   // stripe was empty
+  EXPECT_EQ(c.add(), 1u);   // same thread -> same stripe
+  EXPECT_EQ(c.add(3), 2u);
+  EXPECT_EQ(c.total(), 5u);
+}
+
+TEST_F(MetricsTest, SameNameHandlesShareStorage) {
+  obs::Counter a{"test.counter.shared"};
+  obs::Counter b{"test.counter.shared"};
+  a.add(10);
+  b.add(5);
+  EXPECT_EQ(a.total(), 15u);
+  EXPECT_EQ(b.total(), 15u);
+}
+
+TEST_F(MetricsTest, HistogramConcurrentRecordingLosesNothing) {
+  obs::Histogram h{"test.hist.concurrent"};
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> team;
+  team.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record((i + static_cast<std::uint64_t>(t)) % 40);  // unit + log2
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+
+  const auto snap = obs::registry().snapshot();
+  const auto* hist = snap.find_histogram("test.hist.concurrent");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (auto b : hist->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist->count);
+  // Values 0..39 uniformly: mean 19.5, exact because sum is tracked.
+  EXPECT_NEAR(hist->mean(), 19.5, 0.01);
+  // 16 of 40 values land below 16 -> exact unit-bucket fraction.
+  EXPECT_NEAR(hist->fraction_at_most(15), 16.0 / 40.0, 0.01);
+}
+
+TEST_F(MetricsTest, SnapshotHistogramMergeIsBucketwiseAddition) {
+  obs::Histogram a{"test.hist.merge_a"};
+  obs::Histogram b{"test.hist.merge_b"};
+  for (std::uint64_t v : {1u, 1u, 20u, 500u}) a.record(v);
+  for (std::uint64_t v : {1u, 15u, 20u}) b.record(v);
+
+  auto snap = obs::registry().snapshot();
+  const auto* ha = snap.find_histogram("test.hist.merge_a");
+  const auto* hb = snap.find_histogram("test.hist.merge_b");
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+
+  obs::Snapshot::Histogram merged = *ha;
+  merged.merge(*hb);
+  EXPECT_EQ(merged.count, 7u);
+  EXPECT_EQ(merged.sum, 522u + 36u);
+  EXPECT_EQ(merged.buckets[obs::bucket_index(1)], 3u);
+  EXPECT_EQ(merged.buckets[obs::bucket_index(15)], 1u);
+  EXPECT_EQ(merged.buckets[obs::bucket_index(20)], 2u);
+  EXPECT_EQ(merged.buckets[obs::bucket_index(500)], 1u);
+}
+
+TEST_F(MetricsTest, QuantileUpperBoundWalksTheCdf) {
+  obs::Histogram h{"test.hist.quantile"};
+  for (std::uint64_t i = 0; i < 100; ++i) h.record(i < 90 ? 2 : 100);
+  const auto snap = obs::registry().snapshot();
+  const auto* hist = snap.find_histogram("test.hist.quantile");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->quantile_upper_bound(0.5), 2u);
+  // 100 lands in the [64,127] bucket; its upper bound is 127.
+  EXPECT_EQ(hist->quantile_upper_bound(0.99), 127u);
+}
+
+TEST_F(MetricsTest, GaugeSetAddAndCallbackGauges) {
+  obs::Gauge g{"test.gauge.level"};
+  g.set(42);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 40);
+
+  std::atomic<std::int64_t> source{7};
+  obs::registry().register_gauge_fn("test.gauge.cb", [&source] {
+    return source.load();
+  });
+  auto snap = obs::registry().snapshot();
+  ASSERT_NE(snap.find_gauge("test.gauge.level"), nullptr);
+  EXPECT_EQ(snap.find_gauge("test.gauge.level")->value, 40);
+  ASSERT_NE(snap.find_gauge("test.gauge.cb"), nullptr);
+  EXPECT_EQ(snap.find_gauge("test.gauge.cb")->value, 7);
+
+  // Callback gauges re-sample: registry reset does not zero the source.
+  source.store(9);
+  obs::registry().reset();
+  snap = obs::registry().snapshot();
+  EXPECT_EQ(snap.find_gauge("test.gauge.level")->value, 0);
+  EXPECT_EQ(snap.find_gauge("test.gauge.cb")->value, 9);
+}
+
+TEST_F(MetricsTest, SnapshotIsAPointInTimeResetZeroes) {
+  obs::Counter c{"test.counter.reset"};
+  obs::Histogram h{"test.hist.reset"};
+  c.add(3);
+  h.record(5);
+
+  const auto before = obs::registry().snapshot();
+  c.add(2);  // after the snapshot — must not appear in `before`
+  EXPECT_EQ(before.counter_value("test.counter.reset"), 3u);
+  EXPECT_EQ(obs::registry().snapshot().counter_value("test.counter.reset"),
+            5u);
+
+  obs::registry().reset();
+  const auto after = obs::registry().snapshot();
+  EXPECT_EQ(after.counter_value("test.counter.reset"), 0u);
+  const auto* hist = after.find_histogram("test.hist.reset");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 0u);
+  EXPECT_EQ(hist->sum, 0u);
+  // The snapshot taken before the reset is plain data — unaffected.
+  EXPECT_EQ(before.counter_value("test.counter.reset"), 3u);
+}
+
+TEST_F(MetricsTest, JsonEmitterProducesBalancedNamedOutput) {
+  obs::Counter c{"test.json.counter"};
+  obs::Histogram h{"test.json.hist"};
+  c.add(11);
+  h.record(3);
+  h.record(300);
+
+  std::ostringstream os;
+  obs::registry().snapshot().write_json(os);
+  const std::string out = os.str();
+
+  std::int64_t braces = 0, brackets = 0;
+  for (char ch : out) {
+    braces += (ch == '{') - (ch == '}');
+    brackets += (ch == '[') - (ch == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(out.find("\"test.json.counter\":11"), std::string::npos);
+  EXPECT_NE(out.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(out.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"sum\":303"), std::string::npos);
+  // 300 lands in [256,511]: sparse bucket pair [256,1].
+  EXPECT_NE(out.find("[256,1]"), std::string::npos);
+}
+
+}  // namespace
