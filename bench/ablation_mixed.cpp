@@ -100,5 +100,8 @@ int main() {
   std::printf(
       "\nexpected: the cache-trie's advantage grows with the write share\n"
       "(no resize stalls), while CHM leads in read-dominated mixes.\n");
+  // Tail-latency cells (stat=p50/p90/p99/p999, unit=ns) in the artifact.
+  bench::add_latency_rows(
+      report, cachetrie::harness::by_scale<std::size_t>(20000, 50000, 200000));
   return bench::finish_report(report);
 }

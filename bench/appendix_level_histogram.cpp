@@ -75,5 +75,8 @@ int main() {
                 {"unit", "fraction"}},
                share_summary(hist.top_pair_share()));
   }
+  // Tail-latency cells (stat=p50/p90/p99/p999, unit=ns) in the artifact.
+  bench::add_latency_rows(
+      report, cachetrie::harness::by_scale<std::size_t>(20000, 50000, 200000));
   return bench::finish_report(report);
 }

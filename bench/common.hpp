@@ -101,6 +101,38 @@ inline void report_row(cachetrie::harness::BenchReport& report,
   }
 }
 
+/// Adds per-op lookup tail-latency rows (p50/p90/p99/p999 cells, unit=ns)
+/// for all five structures to the report. Each structure gets a fresh map
+/// pre-filled with n keys, one warm pass over every key, then `passes`
+/// measured passes on the TSC clock (see harness::measure_latency). Runs
+/// single-threaded on purpose: the cells gate the *structure's* lookup tail
+/// (cache-depth effects, pathological probe chains), not scheduler jitter.
+inline void add_latency_rows(cachetrie::harness::BenchReport& report,
+                             std::size_t n, std::size_t passes = 3) {
+  using cachetrie::harness::measure_latency;
+  const cachetrie::harness::BenchParams params{
+      {"op", "lookup_latency"}, {"n", std::to_string(n)}};
+  const auto run = [&](const char* name, auto make) {
+    auto map = make();
+    for (std::size_t i = 0; i < n; ++i) map.insert(i, i);
+    volatile std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (auto v = map.lookup(i)) sink = sink + *v;
+    }
+    const auto ls = measure_latency(
+        [&](std::uint64_t i) {
+          if (auto v = map.lookup(i % n)) sink = sink + *v;
+        },
+        n, passes);
+    report.add_latency(name, params, ls);
+  };
+  run(kStructureNames[0], [] { return ChmMap{}; });
+  run(kStructureNames[1], make_cachetrie);
+  run(kStructureNames[2], make_cachetrie_nocache);
+  run(kStructureNames[3], [] { return CtrieMap{}; });
+  run(kStructureNames[4], [] { return SkipListMap{}; });
+}
+
 /// Writes the artifact; exits non-zero on I/O failure so CI never mistakes
 /// a dropped artifact for a clean run.
 inline int finish_report(const cachetrie::harness::BenchReport& report) {

@@ -89,5 +89,8 @@ int main() {
   std::printf(
       "\nexpected shape (paper): skiplist lowest; ctrie ~= cachetrie;\n"
       "tries ~1.3-1.5x CHM; cache adds <10%% over w/o-cache.\n");
+  // Tail-latency cells (stat=p50/p90/p99/p999, unit=ns) in the artifact.
+  bench::add_latency_rows(
+      report, cachetrie::harness::by_scale<std::size_t>(20000, 50000, 200000));
   return bench::finish_report(report);
 }

@@ -102,5 +102,8 @@ int main() {
   std::printf(
       "expected shape (paper): lookup CHM < cachetrie (1.6-2.1x) << ctrie\n"
       "(<=7.5x) << skiplist (<=36x); insert cachetrie within +-20%% of CHM.\n");
+  // Tail-latency cells (stat=p50/p90/p99/p999, unit=ns) in the artifact.
+  bench::add_latency_rows(
+      report, cachetrie::harness::by_scale<std::size_t>(20000, 50000, 200000));
   return bench::finish_report(report);
 }

@@ -77,5 +77,8 @@ int main() {
   std::printf(
       "expected shape (paper): cachetrie ~CHM at 50k (<=4T even ~10%%\n"
       "faster), 1.1-1.3x slower at 200k/600k; ctrie and skiplist slower.\n");
+  // Tail-latency cells (stat=p50/p90/p99/p999, unit=ns) in the artifact.
+  bench::add_latency_rows(
+      report, cachetrie::harness::by_scale<std::size_t>(20000, 50000, 200000));
   return bench::finish_report(report);
 }

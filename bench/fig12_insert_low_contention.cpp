@@ -74,5 +74,8 @@ int main() {
   std::printf(
       "expected shape (paper): cachetrie 1.3-1.5x FASTER than CHM at\n"
       "100k/1M, up to 1.2x faster at the largest size.\n");
+  // Tail-latency cells (stat=p50/p90/p99/p999, unit=ns) in the artifact.
+  bench::add_latency_rows(
+      report, cachetrie::harness::by_scale<std::size_t>(20000, 50000, 200000));
   return bench::finish_report(report);
 }

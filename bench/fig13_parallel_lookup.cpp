@@ -75,5 +75,8 @@ int main() {
   std::printf(
       "\nexpected shape (paper): CHM < cachetrie (<=1.6x) << w/o-cache ~\n"
       "ctrie << skiplist; cachetrie 2-3x faster than ctrie at 100k-1M.\n");
+  // Tail-latency cells (stat=p50/p90/p99/p999, unit=ns) in the artifact.
+  bench::add_latency_rows(
+      report, cachetrie::harness::by_scale<std::size_t>(20000, 50000, 200000));
   return bench::finish_report(report);
 }

@@ -109,5 +109,9 @@ int main() {
             [&](auto make) { return smoke_churn(make, keys); });
   table.print();
 
+  // Tail-latency cells ride in the same artifact (stat=p50/p90/p99/p999,
+  // unit=ns) so the perf gate can watch tails, not just means.
+  bench::add_latency_rows(report, kN);
+
   return bench::finish_report(report);
 }

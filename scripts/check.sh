@@ -14,6 +14,13 @@
 # threads intentionally leak their in-flight allocations (simulated thread
 # death never runs cleanup) and LeakSanitizer would report exactly those.
 #
+# The trace label (flight recorder: tests/trace_test.cpp and the
+# chaos-perturbed tests/trace_smoke_test.cpp, which replays the stalled-
+# reader fault seed) runs in the same two stages for the same reason, with
+# $CACHETRIE_TRACE_OUT pointed into the build tree; the plain stage then
+# smoke-runs scripts/trace_summarize.py over whatever TRACE_*.json the
+# tests dumped.
+#
 # The slow label (soak_test, lin_check_test) is excluded here on purpose —
 # run `ctest -L slow` in any of the build trees for the long suite.
 set -euo pipefail
@@ -43,6 +50,15 @@ run_stage() {
     # Liveness windows: the watchdog asserts per-tick progress, so never
     # run fault tests in parallel with each other on a loaded box.
     "${env_prefix[@]}" ctest --test-dir "$dir" -L fault --output-on-failure -j 1
+    echo "=== [$stage] ctest -L trace ==="
+    local trace_out="$dir/trace-out"
+    rm -rf "$trace_out" && mkdir -p "$trace_out"
+    "${env_prefix[@]}" env CACHETRIE_TRACE_OUT="$trace_out" \
+      ctest --test-dir "$dir" -L trace --output-on-failure -j 1
+    if [ "$stage" = plain ]; then
+      echo "=== [$stage] trace_summarize smoke ==="
+      python3 "$repo/scripts/trace_summarize.py" --top 5 "$trace_out"/TRACE_*.json
+    fi
   fi
 }
 

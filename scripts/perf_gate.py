@@ -13,7 +13,11 @@ i.e. the relative budget AND a statistical-noise allowance must both be
 exceeded. Cells where both means are below --min-ms are skipped outright
 (sub-millisecond timings on shared CI boxes are noise). Cells whose params
 carry a non-timing unit (e.g. "unit": "bytes" footprints) are compared with
-the same relative budget but no stddev allowance (they are exact counts).
+the same relative budget but no stddev allowance (they are exact counts) —
+EXCEPT latency-percentile cells (params carry a "stat" key, e.g.
+stat=p99 unit=ns), which are measured quantities with a cross-pass stddev
+and get the same noise allowance as wall-clock timings. Their ns values are
+numerically far above --min-ms, so tails are always gated, never skipped.
 
 Cells are matched on (structure, params). Cells present in only one file
 are reported but never fail the gate — benchmarks may gain or lose rows
@@ -66,8 +70,12 @@ def fmt_key(key):
     return f"{structure} [{ptxt}]"
 
 
-def is_timing(cell):
-    return cell.get("params", {}).get("unit") is None
+def has_noise(cell):
+    """Measured (noisy) cells: wall-clock timings (no unit) and latency
+    percentiles (a "stat" param). Exact counts (bytes, fractions) are
+    neither and get no stddev allowance."""
+    params = cell.get("params", {})
+    return params.get("unit") is None or params.get("stat") is not None
 
 
 def main():
@@ -109,7 +117,7 @@ def main():
             continue
         compared += 1
         noise = 0.0
-        if is_timing(old):
+        if has_noise(old):
             sd = max(old.get("stddev_ms", 0.0), new.get("stddev_ms", 0.0))
             noise = args.noise_stddevs * sd
         budget = m0 * (1.0 + args.tolerance) + noise

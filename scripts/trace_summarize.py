@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""trace_summarize.py — offline digest of cachetrie-trace-v1 JSON dumps.
+
+Usage:
+    scripts/trace_summarize.py TRACE_foo.json [TRACE_bar.json ...] [--top 10]
+
+For each file (a Chrome trace-event dump written by obs/trace_export.hpp):
+
+  * header: reason, event count, how many events ever emitted and how many
+    scrolled out of the rings before the drain (overwrite loss);
+  * per-event-name counts, sorted descending;
+  * inter-event gap statistics per event name (min/mean/max microseconds
+    between consecutive occurrences on the global timeline) — a cheap way
+    to spot "the epoch stopped flipping for 400 ms";
+  * the top-N longest spans ('B'/'E' pairs matched per thread by name,
+    e.g. chm.bin_lock waits+holds and ctrie.gcas funnels), with thread id,
+    start timestamp and payload args.
+
+Stdlib only; no third-party imports. Exit status: 0 on success, 2 on a
+missing/undecodable/foreign-schema file.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cachetrie-trace-v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_summarize: cannot load {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    other = doc.get("otherData", {})
+    if other.get("schema") != SCHEMA:
+        print(
+            f"trace_summarize: {path}: schema {other.get('schema')!r}, "
+            f"expected {SCHEMA!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return doc
+
+
+def gap_stats(timestamps):
+    """(min, mean, max) of consecutive deltas; None for <2 samples."""
+    if len(timestamps) < 2:
+        return None
+    gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+    return min(gaps), sum(gaps) / len(gaps), max(gaps)
+
+
+def collect_spans(events):
+    """Match 'B'/'E' per (tid, name) with a stack; returns a list of
+    (duration_us, name, tid, start_ts, args). Unmatched ends (their 'B'
+    scrolled out of the ring) are already demoted to instants by the
+    exporter, so leftovers here are spans still open at the drain."""
+    stacks = {}
+    spans = []
+    for ev in events:
+        ph = ev.get("ph")
+        key = (ev.get("tid"), ev.get("name"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev)
+        elif ph == "E":
+            stack = stacks.get(key)
+            if stack:
+                begin = stack.pop()
+                spans.append((
+                    ev["ts"] - begin["ts"],
+                    ev.get("name", "?"),
+                    ev.get("tid"),
+                    begin["ts"],
+                    begin.get("args", {}),
+                ))
+    open_spans = sum(len(s) for s in stacks.values())
+    return spans, open_spans
+
+
+def summarize(path, top):
+    doc = load(path)
+    other = doc.get("otherData", {})
+    events = sorted(doc.get("traceEvents", []), key=lambda e: e.get("ts", 0))
+
+    print(f"== {path}")
+    print(f"  reason: {other.get('reason', '')!r}  events: {len(events)}  "
+          f"emitted_total: {other.get('emitted_total', '?')}  "
+          f"overwritten: {other.get('overwritten', '?')}")
+
+    by_name = {}
+    for ev in events:
+        by_name.setdefault(ev.get("name", "?"), []).append(ev.get("ts", 0))
+
+    print("  event counts:")
+    for name, stamps in sorted(by_name.items(),
+                               key=lambda kv: (-len(kv[1]), kv[0])):
+        line = f"    {name:<34} {len(stamps):>7}"
+        stats = gap_stats(stamps)
+        if stats is not None:
+            lo, mean, hi = stats
+            line += (f"   gap us min/mean/max "
+                     f"{lo:.1f}/{mean:.1f}/{hi:.1f}")
+        print(line)
+
+    spans, open_spans = collect_spans(events)
+    if spans:
+        spans.sort(key=lambda s: -s[0])
+        print(f"  longest spans (top {min(top, len(spans))} of {len(spans)}"
+              + (f", {open_spans} still open" if open_spans else "") + "):")
+        for dur, name, tid, start, args in spans[:top]:
+            atxt = " ".join(f"{k}={v}" for k, v in sorted(args.items()))
+            print(f"    {dur:>10.1f} us  {name:<20} tid {tid}  "
+                  f"@ {start:.1f} us  [{atxt}]")
+    else:
+        print("  no completed spans" +
+              (f" ({open_spans} still open)" if open_spans else ""))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Summarize cachetrie flight-recorder trace dumps.")
+    ap.add_argument("traces", nargs="+", help="TRACE_*.json files")
+    ap.add_argument("--top", type=int, default=10,
+                    help="how many longest spans to print (default 10)")
+    args = ap.parse_args()
+    for i, path in enumerate(args.traces):
+        if i:
+            print()
+        summarize(path, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@
 #include "cachetrie/stats.hpp"
 #include "mr/epoch.hpp"
 #include "obs/inventory.hpp"
+#include "obs/trace.hpp"
 #include "testkit/chaos.hpp"
 #include "util/hashing.hpp"
 #include "util/rng.hpp"
@@ -489,6 +490,7 @@ class CacheTrie {
           // The window between the txn announcement and the slot commit is
           // where helpers race the winner (§3.3's two-CAS protocol).
           testkit::chaos_point("cachetrie.txn_commit");
+          obs::trace::emit(obs::trace::EventId::kCachetrieTxnCommit, h, lev);
           NodeBase* eo = osn;
           slot.compare_exchange_strong(eo, sn, std::memory_order_acq_rel,
                                        std::memory_order_acquire);
@@ -542,6 +544,7 @@ class CacheTrie {
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
         testkit::chaos_point("cachetrie.txn_commit");
+        obs::trace::emit(obs::trace::EventId::kCachetrieTxnCommit, h, lev);
         NodeBase* eo = osn;
         slot.compare_exchange_strong(eo, subtree, std::memory_order_acq_rel,
                                      std::memory_order_acquire);
@@ -778,6 +781,8 @@ class CacheTrie {
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_acquire)) {
               testkit::chaos_point("cachetrie.txn_commit");
+              obs::trace::emit(obs::trace::EventId::kCachetrieTxnCommit, h,
+                               lev);
               NodeBase* eo = osn;
               slot.compare_exchange_strong(eo, nullptr,
                                            std::memory_order_acq_rel,
@@ -902,6 +907,8 @@ class CacheTrie {
     // Counts freeze passes, helpers included — the helping rate under
     // contention is itself the signal of interest.
     obs::sites::cachetrie_freeze.add();
+    obs::trace::emit(obs::trace::EventId::kCachetrieFreeze,
+                     reinterpret_cast<std::uintptr_t>(cur), cur->length);
     std::uint32_t i = 0;
     while (i < cur->length) {
       // Freezing races other freezers slot-by-slot and pending txns get
@@ -1010,8 +1017,12 @@ class CacheTrie {
       bump_stat(en->compress ? &Stats::compressions : &Stats::expansions);
       if (en->compress) {
         obs::sites::cachetrie_compress.add();
+        obs::trace::emit(obs::trace::EventId::kCachetrieCompress, en->hash,
+                         en->level);
       } else {
         obs::sites::cachetrie_expand.add();
+        obs::trace::emit(obs::trace::EventId::kCachetrieExpand, en->hash,
+                         en->level);
       }
       retire_frozen(en->target, en->hash, en->level);
       Reclaimer::template retire<ENode>(en);
@@ -1296,6 +1307,8 @@ class CacheTrie {
                                               std::memory_order_acquire)) {
         bump_stat(&Stats::cache_installs);
         obs::sites::cachetrie_cache_install.add();
+        obs::trace::emit(obs::trace::EventId::kCachetrieCacheInstall,
+                         config_.cache_init_level, node_level);
       } else {
         CacheArray::destroy(fresh);
       }
@@ -1474,6 +1487,8 @@ class CacheTrie {
                                               std::memory_order_acquire)) {
         bump_stat(&Stats::cache_level_changes);
         obs::sites::cachetrie_cache_level_change.add();
+        obs::trace::emit(obs::trace::EventId::kCachetrieCacheLevelChange,
+                         head->level, desired);
       } else {
         CacheArray::destroy(fresh);
       }
@@ -1491,6 +1506,8 @@ class CacheTrie {
                                             std::memory_order_acquire)) {
       bump_stat(&Stats::cache_level_changes);
       obs::sites::cachetrie_cache_level_change.add();
+      obs::trace::emit(obs::trace::EventId::kCachetrieCacheLevelChange,
+                       head->level, desired);
       // Retire the unlinked prefix [head, anc); readers inside guards may
       // still be walking it.
       for (CacheArray* c = head; c != anc;) {

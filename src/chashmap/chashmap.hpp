@@ -32,6 +32,7 @@
 
 #include "mr/epoch.hpp"
 #include "obs/inventory.hpp"
+#include "obs/trace.hpp"
 #include "testkit/chaos.hpp"
 #include "util/hashing.hpp"
 #include "util/padded.hpp"
@@ -261,7 +262,14 @@ class ConcurrentHashMap {
   struct BinLock {
     Table* t;
     std::size_t bi;
-    BinLock(Table* table, std::size_t bin) : t(table), bi(bin) {
+    // Span covers wait + hold: B fires before the spin, E after the dtor
+    // body releases (members destroy after the body runs), so the trace
+    // shows both contention and critical-section length per bin.
+    [[no_unique_address]] obs::trace::Span trace_span;
+    BinLock(Table* table, std::size_t bin)
+        : t(table), bi(bin),
+          trace_span(obs::trace::EventId::kChmBinLockBegin,
+                     obs::trace::EventId::kChmBinLockEnd, bin) {
       testkit::chaos_point("chm.bin_lock");
       util::Backoff backoff;
       auto& lk = t->locks()[bi];
@@ -378,6 +386,7 @@ class ConcurrentHashMap {
     testkit::chaos_point("chm.transfer_help");
     if (table_.load(std::memory_order_acquire) != t) return;  // superseded
     obs::sites::chm_transfer_help.add();
+    obs::trace::emit(obs::trace::EventId::kChmTransferHelp, t->nbins);
     Table* next = t->next.load(std::memory_order_acquire);
     if (next == nullptr) {
       Table* fresh = Table::make(t->nbins * 2);
@@ -387,6 +396,8 @@ class ConcurrentHashMap {
                                           std::memory_order_acquire)) {
         // Unique per doubling: this thread initiated the resize.
         obs::sites::chm_resize.add();
+        obs::trace::emit(obs::trace::EventId::kChmResize, t->nbins,
+                         t->nbins * 2);
       } else {
         Table::destroy(fresh);
       }
@@ -437,6 +448,7 @@ class ConcurrentHashMap {
 
   void transfer_bin(Table* t, Table* next, std::size_t bi) {
     obs::sites::chm_transfer_bin.add();
+    obs::trace::emit(obs::trace::EventId::kChmTransferBin, bi, t->nbins);
     BinLock lock{t, bi};
     while (true) {
       Node* head = t->bins()[bi].load(std::memory_order_acquire);

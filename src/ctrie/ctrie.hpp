@@ -33,6 +33,7 @@
 
 #include "mr/epoch.hpp"
 #include "obs/inventory.hpp"
+#include "obs/trace.hpp"
 #include "testkit/chaos.hpp"
 #include "util/bits.hpp"
 #include "util/hashing.hpp"
@@ -536,16 +537,27 @@ class Ctrie {
 
   bool cas_main(INode* i, Base* expected, Base* desired) {
     // The GCAS stand-in: every structural replacement funnels through this
-    // single INode.main CAS, so one chaos point covers them all.
+    // single INode.main CAS, so one chaos point (and one trace span,
+    // covering the CAS plus retiring the loser) covers them all.
+    [[maybe_unused]] obs::trace::Span span{
+        obs::trace::EventId::kCtrieGcasBegin,
+        obs::trace::EventId::kCtrieGcasEnd,
+        reinterpret_cast<std::uintptr_t>(i)};
     testkit::chaos_point("ctrie.gcas");
     Base* e = expected;
     if (i->main.compare_exchange_strong(e, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+      if (desired->kind == Kind::kTNode) {
+        obs::trace::emit(obs::trace::EventId::kCtrieEntomb,
+                         reinterpret_cast<std::uintptr_t>(i));
+      }
       retire_main_container(expected);
       return true;
     }
     obs::sites::ctrie_gcas_retry.add();
+    obs::trace::emit(obs::trace::EventId::kCtrieGcasRetry,
+                     reinterpret_cast<std::uintptr_t>(i));
     return false;
   }
 
@@ -654,10 +666,18 @@ class Ctrie {
       Reclaimer::retire_raw_sized(cn, &mr::free_raw_storage,
                                   CNode::alloc_size(cn->len));
       obs::sites::ctrie_clean.add();
+      obs::trace::emit(obs::trace::EventId::kCtrieClean,
+                       reinterpret_cast<std::uintptr_t>(i), recs.size());
+      if (tombs) {
+        obs::trace::emit(obs::trace::EventId::kCtrieEntomb,
+                         reinterpret_cast<std::uintptr_t>(i));
+      }
       return;
     }
     // Lost the race: everything we built is unpublished.
     obs::sites::ctrie_gcas_retry.add();
+    obs::trace::emit(obs::trace::EventId::kCtrieGcasRetry,
+                     reinterpret_cast<std::uintptr_t>(i));
     for (const auto& r : recs) delete r.copy;
     if (tombs) {
       delete static_cast<TNodeT*>(desired)->sn;
@@ -701,8 +721,16 @@ class Ctrie {
         delete resurrected;
       }
       obs::sites::ctrie_clean_parent.add();
+      obs::trace::emit(obs::trace::EventId::kCtrieCleanParent,
+                       reinterpret_cast<std::uintptr_t>(parent), lev);
+      if (contracted != ncn) {
+        obs::trace::emit(obs::trace::EventId::kCtrieEntomb,
+                         reinterpret_cast<std::uintptr_t>(parent));
+      }
     } else {
       obs::sites::ctrie_gcas_retry.add();
+      obs::trace::emit(obs::trace::EventId::kCtrieGcasRetry,
+                       reinterpret_cast<std::uintptr_t>(parent));
       if (contracted != ncn) {
         delete static_cast<TNodeT*>(contracted)->sn;
         delete static_cast<TNodeT*>(contracted);

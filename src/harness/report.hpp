@@ -54,6 +54,30 @@ class BenchReport {
                           ops_per_rep});
   }
 
+  /// Adds four percentile cells (p50/p90/p99/p999) for one latency-measured
+  /// cell. Values are *nanoseconds* carried in the schema's mean_ms/
+  /// stddev_ms/min_ms/max_ms fields; the params gain {"stat":"pXX"} and
+  /// {"unit":"ns"} so consumers (perf_gate.py, table generators) can tell
+  /// them from wall-clock timing cells.
+  void add_latency(const std::string& structure, const BenchParams& params,
+                   const LatencySummary& ls) {
+    const std::pair<const char*, const LatencyQuantile*> quantiles[] = {
+        {"p50", &ls.p50}, {"p90", &ls.p90},
+        {"p99", &ls.p99}, {"p999", &ls.p999}};
+    for (const auto& [stat, q] : quantiles) {
+      BenchParams p = params;
+      p.emplace_back("stat", stat);
+      p.emplace_back("unit", "ns");
+      Summary s;
+      s.mean_ms = q->mean_ns;
+      s.stddev_ms = q->stddev_ns;
+      s.min_ms = q->min_ns;
+      s.max_ms = q->max_ns;
+      s.reps = ls.passes;
+      add(structure, std::move(p), s, ls.ops_per_pass);
+    }
+  }
+
   /// `BENCH_<bench>.json`, under $CACHETRIE_BENCH_OUT when set.
   std::string path() const {
     std::string p;

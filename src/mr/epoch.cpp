@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cachetrie::mr {
 
@@ -128,6 +129,8 @@ void EpochDomain::exit() {
     // violation — see the header comment.
     stalled_records_.fetch_sub(1, std::memory_order_relaxed);
     stalled_guard_exits_.fetch_add(1, std::memory_order_relaxed);
+    obs::trace::emit(obs::trace::EventId::kMrStalledGuardExit,
+                     reinterpret_cast<std::uintptr_t>(rec));
   }
 }
 
@@ -190,12 +193,19 @@ bool EpochDomain::try_advance() {
   }
   const bool advanced = global_epoch_.compare_exchange_strong(
       e, e + 1, std::memory_order_acq_rel, std::memory_order_acquire);
-  if (advanced) collect_orphans(e + 1);
+  if (advanced) {
+    obs::trace::emit(obs::trace::EventId::kMrEpochFlip, e + 1);
+    collect_orphans(e + 1);
+  }
   return advanced;
 }
 
 std::size_t EpochDomain::fallback_scan() {
   fallback_scans_.fetch_add(1, std::memory_order_relaxed);
+  [[maybe_unused]] obs::trace::Span span{
+      obs::trace::EventId::kMrFallbackScanBegin,
+      obs::trace::EventId::kMrFallbackScanEnd,
+      limbo_bytes_.load(std::memory_order_relaxed)};
   // Hazard-style sweep (same shape as HazardDomain::scan_list, with the
   // published epoch playing the role of the hazard pointer). A record
   // pinned at an epoch other than the current one is what is blocking
@@ -222,6 +232,8 @@ std::size_t EpochDomain::fallback_scan() {
                                              std::memory_order_acq_rel) &&
           (desired & kStalledBit) != 0) {
         stalled_records_.fetch_add(1, std::memory_order_relaxed);
+        obs::trace::emit(obs::trace::EventId::kMrStallDeclare,
+                         reinterpret_cast<std::uintptr_t>(rec), ticks + 1);
       }
     }
   }

@@ -124,6 +124,36 @@ struct Snapshot {
       return bucket_upper_bound(kHistBuckets - 1);
     }
 
+    /// p-quantile with linear interpolation inside the landing bucket.
+    /// quantile_upper_bound is exact for the unit range but a log2 bucket
+    /// spans a 2x range — at high buckets the upper bound alone overstates
+    /// a mid-bucket quantile by up to 2x. Assuming in-bucket uniformity
+    /// and interpolating bounds the error by the in-bucket mass instead.
+    /// Unit buckets still return their exact value.
+    double quantile(double p) const noexcept {
+      if (count == 0) return 0.0;
+      double target = p * static_cast<double>(count);
+      if (target > static_cast<double>(count)) {
+        target = static_cast<double>(count);
+      }
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        if (buckets[b] == 0) continue;
+        if (static_cast<double>(cum + buckets[b]) >= target) {
+          const std::uint64_t lo = bucket_lower_bound(b);
+          const std::uint64_t hi = bucket_upper_bound(b);
+          if (hi == lo) return static_cast<double>(lo);  // unit bucket
+          double frac = (target - static_cast<double>(cum)) /
+                        static_cast<double>(buckets[b]);
+          if (frac < 0.0) frac = 0.0;
+          return static_cast<double>(lo) +
+                 static_cast<double>(hi - lo) * frac;
+        }
+        cum += buckets[b];
+      }
+      return static_cast<double>(bucket_upper_bound(kHistBuckets - 1));
+    }
+
     /// Fraction of recorded values <= v (resolution: bucket boundaries;
     /// exact for v < 16 thanks to the unit buckets).
     double fraction_at_most(std::uint64_t v) const noexcept {
@@ -552,9 +582,8 @@ inline void Snapshot::print_table(std::ostream& os) const {
   }
   for (const auto& h : histograms) {
     pad(h.name);
-    os << "count " << h.count << "  mean " << h.mean() << "  p50<="
-       << h.quantile_upper_bound(0.5) << "  p99<="
-       << h.quantile_upper_bound(0.99) << "\n";
+    os << "count " << h.count << "  mean " << h.mean() << "  p50~"
+       << h.quantile(0.5) << "  p99~" << h.quantile(0.99) << "\n";
   }
 }
 

@@ -47,6 +47,7 @@
 
 #include "mr/epoch.hpp"
 #include "obs/inventory.hpp"
+#include "obs/trace.hpp"
 #include "testkit/chaos.hpp"
 #include "util/rng.hpp"
 #include "util/spinwait.hpp"
@@ -270,6 +271,8 @@ class ConcurrentSkipList {
       testkit::chaos_point("csl.mark_bottom");
       if (victim->vsync.compare_exchange_weak(s, s | kDead,
                                               std::memory_order_seq_cst)) {
+        obs::trace::emit(obs::trace::EventId::kCslMarkBottom, key,
+                         victim->top_level);
         break;
       }
     }
@@ -398,6 +401,8 @@ class ConcurrentSkipList {
   /// invariant "bottom-marked implies marked everywhere above".
   static void help_mark(Node* n) {
     obs::sites::csl_help_mark.add();
+    obs::trace::emit(obs::trace::EventId::kCslHelpMark,
+                     reinterpret_cast<std::uintptr_t>(n), n->top_level);
     for (int lev = n->top_level; lev >= 1; --lev) {
       testkit::chaos_point("csl.mark_upper");
       std::uintptr_t t = n->next()[lev].load(std::memory_order_seq_cst);

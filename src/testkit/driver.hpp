@@ -28,6 +28,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace_export.hpp"
 #include "testkit/adapter.hpp"
 #include "testkit/chaos.hpp"
 #include "testkit/history.hpp"
@@ -186,6 +187,10 @@ DriverResult run_histories(Factory&& make, const DriverConfig& cfg) {
         out.violation = std::move(v);
         out.violating_history = h;
         out.trace = format_trace(*out.violation, cfg.seed, h);
+        // Post-mortem: keep the protocol-event window leading up to the
+        // failing history (no-op unless tracing is enabled).
+        obs::trace::emit(obs::trace::EventId::kLinCheckFail, cfg.seed, h);
+        obs::trace::post_mortem_dump("lin_check_failure");
         if (cfg.stop_on_violation) {
           stop.store(true, std::memory_order_release);
         }

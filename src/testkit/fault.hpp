@@ -47,6 +47,7 @@
 #include <mutex>
 
 #include "mr/epoch.hpp"
+#include "obs/trace.hpp"
 #endif
 
 namespace cachetrie::testkit::fault {
@@ -210,6 +211,8 @@ inline ThreadHits& thread_hits() {
 /// Park per the spec, then either resume or die. Throws ThreadKilled.
 inline void execute(const Spec& spec) {
   auto& pk = parking();
+  obs::trace::emit(obs::trace::EventId::kFaultPark, spec.site,
+                   static_cast<std::uint64_t>(spec.kind));
   bool deadline_elapsed = false;
   {
     std::unique_lock<std::mutex> lk(pk.m);
@@ -227,12 +230,17 @@ inline void execute(const Spec& spec) {
     g_parked_now.fetch_sub(1, std::memory_order_relaxed);
   }
   (void)deadline_elapsed;
-  if (spec.kind == Kind::kDie) throw ThreadKilled{};
+  if (spec.kind == Kind::kDie) {
+    obs::trace::emit(obs::trace::EventId::kFaultKill, spec.site);
+    throw ThreadKilled{};
+  }
   // Resume fence: a victim the reclaimer declared dead while it was parked
   // must not execute another instruction of structure code.
   if (mr::EpochDomain::instance().current_thread_declared_stalled()) {
+    obs::trace::emit(obs::trace::EventId::kFaultKill, spec.site, 1);
     throw ThreadKilled{};
   }
+  obs::trace::emit(obs::trace::EventId::kFaultResume, spec.site);
 }
 
 inline void on_chaos_point(const char* /*site*/, std::uint64_t site_h) {

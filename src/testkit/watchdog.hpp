@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/trace_export.hpp"
+
 namespace cachetrie::testkit {
 
 class ProgressWatchdog {
@@ -75,7 +77,15 @@ class ProgressWatchdog {
       const std::uint64_t delta = now - last;
       last = now;
       ticks_.fetch_add(1, std::memory_order_relaxed);
-      if (delta == 0) violations_.fetch_add(1, std::memory_order_relaxed);
+      if (delta == 0) {
+        violations_.fetch_add(1, std::memory_order_relaxed);
+        // A violation is the moment the timeline matters: record it, then
+        // preserve the first one's flight-recorder window (no-op unless
+        // tracing is enabled; later violations cannot overwrite it).
+        obs::trace::emit(obs::trace::EventId::kWatchdogViolation, now,
+                         ticks_.load(std::memory_order_relaxed));
+        obs::trace::post_mortem_dump("watchdog_violation");
+      }
       std::uint64_t prev = min_delta_.load(std::memory_order_relaxed);
       while (delta < prev && !min_delta_.compare_exchange_weak(
                                  prev, delta, std::memory_order_relaxed)) {

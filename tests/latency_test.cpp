@@ -1,0 +1,159 @@
+// latency_test.cpp — unit tests of the HdrHistogram-lite latency histogram
+// (bucket geometry, bounded relative error, interpolated quantiles, merge)
+// and of the harness' per-op latency protocol down to the JSON cells the
+// perf gate consumes.
+#include "obs/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+
+namespace obs = cachetrie::obs;
+namespace harness = cachetrie::harness;
+using obs::LatencyHistogram;
+
+namespace {
+
+// --- bucket geometry -------------------------------------------------------
+
+TEST(LatencyBuckets, BucketsPartitionTheRange) {
+  // Every bucket's first and last value map back into it, and bucket b+1
+  // starts exactly after bucket b ends — no gaps, no overlaps.
+  for (std::size_t b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
+    const std::uint64_t lo = LatencyHistogram::lower_of(b);
+    const std::uint64_t w = LatencyHistogram::width_of(b);
+    EXPECT_EQ(LatencyHistogram::index_of(lo), b);
+    EXPECT_EQ(LatencyHistogram::index_of(lo + w - 1), b);
+    EXPECT_EQ(LatencyHistogram::lower_of(b + 1), lo + w);
+  }
+  EXPECT_EQ(LatencyHistogram::index_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyBuckets, RelativeErrorIsBoundedBySixteenth) {
+  // The whole point of 16 sub-buckets per power of two: a value's bucket
+  // lower bound is within v/16 of v at every magnitude.
+  for (std::uint64_t v = 1; v < (1ull << 40); v = v * 3 + 7) {
+    const std::size_t b = LatencyHistogram::index_of(v);
+    const std::uint64_t lo = LatencyHistogram::lower_of(b);
+    ASSERT_LE(lo, v);
+    ASSERT_LE(v - lo, v / 16 + 1) << "v=" << v;
+  }
+}
+
+// --- recording and quantiles -----------------------------------------------
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.max_value(), 31u);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.5);
+  // Unit buckets: the quantile of the k-th value is the value itself.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0 / 32.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 31.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesOfUniformRangeAreWithinBucketError) {
+  LatencyHistogram h;
+  constexpr std::uint64_t kN = 100000;
+  for (std::uint64_t v = 1; v <= kN; ++v) h.record(v);
+  EXPECT_EQ(h.count(), kN);
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    const double q = h.quantile(p);
+    const double exact = p * static_cast<double>(kN);
+    EXPECT_NEAR(q, exact, exact / 16.0 + 1.0) << "p=" << p;
+  }
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+  EXPECT_LE(h.quantile(0.99), h.quantile(0.999));
+}
+
+TEST(LatencyHistogramTest, MergeIsLossless) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t v = 1; v <= 5000; ++v) {
+    (v % 2 ? a : b).record(v * 7);
+    both.record(v * 7);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.max_value(), both.max_value());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  for (double p : {0.1, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(p), both.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetZeroes) {
+  LatencyHistogram h;
+  h.record(12345);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+// --- harness protocol ------------------------------------------------------
+
+TEST(MeasureLatency, SummarizesPassesWithOrderedQuantiles) {
+  volatile std::uint64_t sink = 0;
+  const auto ls = harness::measure_latency(
+      [&](std::uint64_t i) {
+        // A little per-op work so latencies are nonzero and i-dependent.
+        std::uint64_t acc = i;
+        for (int r = 0; r < 8; ++r) acc = acc * 6364136223846793005ull + r;
+        sink = acc;
+      },
+      /*ops=*/5000, /*passes=*/3);
+  EXPECT_EQ(ls.ops_per_pass, 5000u);
+  EXPECT_EQ(ls.passes, 3u);
+  EXPECT_GT(ls.p50.mean_ns, 0.0);
+  EXPECT_LE(ls.p50.mean_ns, ls.p90.mean_ns);
+  EXPECT_LE(ls.p90.mean_ns, ls.p99.mean_ns);
+  EXPECT_LE(ls.p99.mean_ns, ls.p999.mean_ns);
+  for (const auto* q : {&ls.p50, &ls.p90, &ls.p99, &ls.p999}) {
+    EXPECT_GE(q->stddev_ns, 0.0);
+    EXPECT_LE(q->min_ns, q->mean_ns);
+    EXPECT_GE(q->max_ns, q->mean_ns);
+  }
+}
+
+TEST(MeasureLatency, ReportCellsCarryStatAndUnitParams) {
+  harness::LatencySummary ls;
+  ls.p50 = {100.0, 1.0, 99.0, 101.0};
+  ls.p90 = {200.0, 2.0, 198.0, 202.0};
+  ls.p99 = {300.0, 3.0, 297.0, 303.0};
+  ls.p999 = {400.0, 4.0, 396.0, 404.0};
+  ls.ops_per_pass = 1234;
+  ls.passes = 3;
+
+  harness::BenchReport report{"latency_unit"};
+  report.add_latency("cachetrie", {{"op", "lookup_latency"}, {"n", "1234"}},
+                     ls);
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string out = os.str();
+
+  for (const char* stat : {"p50", "p90", "p99", "p999"}) {
+    EXPECT_NE(out.find("\"stat\":\"" + std::string(stat) + "\""),
+              std::string::npos)
+        << stat;
+  }
+  EXPECT_NE(out.find("\"unit\":\"ns\""), std::string::npos);
+  EXPECT_NE(out.find("\"mean_ms\":300"), std::string::npos);  // p99 in ns
+  EXPECT_NE(out.find("\"ops_per_rep\":1234"), std::string::npos);
+  std::int64_t braces = 0, brackets = 0;
+  for (char ch : out) {
+    braces += (ch == '{') - (ch == '}');
+    brackets += (ch == '[') - (ch == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+}  // namespace

@@ -197,6 +197,37 @@ TEST_F(MetricsTest, QuantileUpperBoundWalksTheCdf) {
   EXPECT_EQ(hist->quantile_upper_bound(0.99), 127u);
 }
 
+TEST_F(MetricsTest, QuantileInterpolatesWithinBucket) {
+  // quantile_upper_bound snaps to the bucket ceiling — p99 of a
+  // distribution topping out at 100 reports 127. The interpolated
+  // quantile() must land inside the bucket, not on its edge.
+  obs::Histogram h{"test.hist.quantile_interp"};
+  for (std::uint64_t i = 0; i < 100; ++i) h.record(i < 90 ? 2 : 100);
+  const auto snap = obs::registry().snapshot();
+  const auto* hist = snap.find_histogram("test.hist.quantile_interp");
+  ASSERT_NE(hist, nullptr);
+  // Unit bucket: exact, no interpolation artifacts.
+  EXPECT_DOUBLE_EQ(hist->quantile(0.5), 2.0);
+  // [64,127] holds ranks 91..100; p99 (rank 99) sits ~90% into the
+  // bucket: 64 + 63 * (99 - 90) / 10 = 120.7. Anything in (64, 127)
+  // beats the old 127 ceiling; pin the exact interpolation too.
+  const double p99 = hist->quantile(0.99);
+  EXPECT_GT(p99, 64.0);
+  EXPECT_LT(p99, 127.0);
+  EXPECT_NEAR(p99, 64.0 + 63.0 * 0.9, 1e-9);
+  // p1 of all-identical values stays exact even in a log2 bucket.
+  obs::Histogram one{"test.hist.quantile_interp_one"};
+  for (int i = 0; i < 50; ++i) one.record(1000);
+  const auto snap2 = obs::registry().snapshot();
+  const auto* h1 = snap2.find_histogram("test.hist.quantile_interp_one");
+  ASSERT_NE(h1, nullptr);
+  const double lo = h1->quantile(0.01), hi = h1->quantile(0.999);
+  // All mass in [512,1023]: every quantile must stay inside the bucket.
+  EXPECT_GE(lo, 512.0);
+  EXPECT_LE(hi, 1023.0);
+  EXPECT_LE(lo, hi);
+}
+
 TEST_F(MetricsTest, GaugeSetAddAndCallbackGauges) {
   obs::Gauge g{"test.gauge.level"};
   g.set(42);
