@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# check.sh — build + run the fast test label under three toolchains
-# (plain, AddressSanitizer+UBSan, ThreadSanitizer), then a perf-smoke
-# regression gate (scripts/perf_gate.py vs the committed baseline). Each
-# configuration gets its own build tree so they never fight over the
-# CMake cache.
+# check.sh — protocol lint, then build + run the fast test label under
+# three toolchains (plain, AddressSanitizer+UBSan, ThreadSanitizer), then
+# a perf-smoke regression gate (scripts/perf_gate.py vs the committed
+# baseline). Each configuration gets its own build tree so they never
+# fight over the CMake cache.
 #
-#   scripts/check.sh            # all stages (plain, asan, tsan, perf)
-#   scripts/check.sh plain      # just one stage (plain | asan | tsan | perf)
+#   scripts/check.sh            # all stages (lint, plain, asan, tsan, perf)
+#   scripts/check.sh lint       # just one stage (lint|plain|asan|tsan|perf)
 #
 # The fault label (fault-injection + stall-tolerant reclamation + progress
 # watchdog, see tests/*fault*, tests/watchdog_progress_test.cpp) runs in the
@@ -82,21 +82,34 @@ run_perf() {
     --tolerance 1.0 --min-ms 0.5 --noise-stddevs 3
 }
 
+# Lint stage: no build tree needed — runs the static protocol checks
+# (scripts/protocol_lint.py) over src/ plus the fixture self-test. First
+# in `all` so a contract violation fails in seconds, before any compile.
+run_lint() {
+  echo "=== [lint] protocol_lint src/ ==="
+  python3 "$repo/scripts/protocol_lint.py" "$repo/src"
+  echo "=== [lint] protocol_lint --self-test ==="
+  python3 "$repo/scripts/protocol_lint.py" \
+    --self-test "$repo/tests/lint_fixtures"
+}
+
 want="${1:-all}"
 
 case "$want" in
+  lint) run_lint ;;
   plain) run_stage plain ;;
   asan) run_stage asan -DCACHETRIE_SANITIZE=ON ;;
   tsan) run_stage tsan -DCACHETRIE_TSAN=ON ;;
   perf) run_perf ;;
   all)
+    run_lint
     run_stage plain
     run_stage asan -DCACHETRIE_SANITIZE=ON
     run_stage tsan -DCACHETRIE_TSAN=ON
     run_perf
     ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|perf|all]" >&2
+    echo "usage: $0 [lint|plain|asan|tsan|perf|all]" >&2
     exit 2
     ;;
 esac

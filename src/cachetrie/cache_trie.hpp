@@ -399,6 +399,7 @@ class CacheTrie {
                  const V* expected_value = nullptr) {
     while (true) {
       auto& slot = cur->slots()[slot_index(h, lev, cur->length)];
+      // [acquires: CT_SLOT_COMMIT]
       NodeBase* old = slot.load(std::memory_order_acquire);
 
       if (old == nullptr) {  // case (1): empty slot
@@ -407,13 +408,14 @@ class CacheTrie {
         }
         SNodeT* sn = SNodeT::make(h, key, value);
         NodeBase* expected = nullptr;
+        // [publishes: CT_SLOT_COMMIT]
         if (slot.compare_exchange_strong(expected, sn,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
           maybe_inhabit(sn, h, lev + 4);
           return Res::kNew;
         }
-        delete sn;
+        delete sn;  // [delete: unpublished]
         continue;
       }
       if (old == Sentinels::fv()) return Res::kRestart;  // frozen empty slot
@@ -467,10 +469,12 @@ class CacheTrie {
     }
   }
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   Res insert_at_snode(const K& key, const V& value, std::uint64_t h,
                       std::uint32_t lev, ANode* cur, ANode* prev,
                       std::atomic<NodeBase*>& slot, SNodeT* osn, Mode mode,
                       const V* expected_value) {
+    // [acquires: CT_TXN]
     NodeBase* txn = osn->txn.load(std::memory_order_acquire);
     if (txn == Sentinels::no_txn()) {
       if (osn->hash == h && osn->key == key) {
@@ -484,6 +488,7 @@ class CacheTrie {
         SNodeT* sn = SNodeT::make(h, key, value);
         testkit::chaos_point("cachetrie.txn_announce");
         NodeBase* expected = Sentinels::no_txn();
+        // [publishes: CT_TXN]
         if (osn->txn.compare_exchange_strong(expected, sn,
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
@@ -501,7 +506,7 @@ class CacheTrie {
           Reclaimer::template retire<SNodeT>(osn);
           return Res::kReplaced;
         }
-        delete sn;
+        delete sn;  // [delete: unpublished]
         obs::sites::cachetrie_txn_retry.add();
         return Res::kRetryLevel;
       }
@@ -520,12 +525,13 @@ class CacheTrie {
                 expected, en, std::memory_order_acq_rel,
                 std::memory_order_acquire)) {
           complete_enode(en);
+          // [acquires: CT_ENODE_RESULT]
           NodeBase* wide = en->result.load(std::memory_order_acquire);
           assert(wide != nullptr && wide->kind == Kind::kANode);
           return insert_rec(key, value, h, lev, static_cast<ANode*>(wide),
                             prev, mode, expected_value);
         }
-        delete en;
+        delete en;  // [delete: unpublished]
         // Someone got to prev[ppos] first; help if it is an announcement.
         NodeBase* now =
             prev->slots()[ppos].load(std::memory_order_acquire);
@@ -569,6 +575,7 @@ class CacheTrie {
   /// Slot holds a collision chain. Chains are immutable: build the updated
   /// chain (or, when the new hash differs, a subtree that pushes the chain
   /// deeper) and swap it in with one CAS.
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   Res insert_at_lnode(const K& key, const V& value, std::uint64_t h,
                       std::uint32_t lev, std::atomic<NodeBase*>& slot,
                       LNodeT* chain, Mode mode, const V* expected_value) {
@@ -753,6 +760,7 @@ class CacheTrie {
     }
   }
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   Res remove_rec(const K& key, std::uint64_t h, std::uint32_t lev, ANode* cur,
                  ANode* prev, std::optional<V>* out,
                  const V* expected = nullptr) {
@@ -776,8 +784,8 @@ class CacheTrie {
             // Announce removal by publishing nullptr in txn (invalidates
             // cache entries), then commit null into the slot.
             testkit::chaos_point("cachetrie.txn_announce");
-            NodeBase* expected = Sentinels::no_txn();
-            if (osn->txn.compare_exchange_strong(expected, nullptr,
+            NodeBase* etxn = Sentinels::no_txn();
+            if (osn->txn.compare_exchange_strong(etxn, nullptr,
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_acquire)) {
               testkit::chaos_point("cachetrie.txn_commit");
@@ -838,8 +846,8 @@ class CacheTrie {
             }
             replacement = fresh;
           }
-          NodeBase* expected = chain;
-          if (slot.compare_exchange_strong(expected, replacement,
+          NodeBase* echain = chain;
+          if (slot.compare_exchange_strong(echain, replacement,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
             retire_chain(chain);
@@ -893,7 +901,7 @@ class CacheTrie {
             std::memory_order_acquire)) {
       complete_enode(en);
     } else {
-      delete en;
+      delete en;  // [delete: unpublished]
     }
   }
 
@@ -935,6 +943,7 @@ class CacheTrie {
           NodeBase* txn = sn->txn.load(std::memory_order_acquire);
           if (txn == Sentinels::no_txn()) {
             NodeBase* expected = Sentinels::no_txn();
+            // [publishes: CT_FREEZE]
             if (sn->txn.compare_exchange_strong(expected, Sentinels::fs(),
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_acquire)) {
@@ -960,7 +969,7 @@ class CacheTrie {
           if (!slot.compare_exchange_strong(expected, fn,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
-            delete fn;
+            delete fn;  // [delete: unpublished]
           }
           continue;  // revisit: the kFNode case below recurses
         }
@@ -987,6 +996,7 @@ class CacheTrie {
   /// build the replacement, publish it in en->result (first builder wins),
   /// and commit it into the parent slot. The unique winner of the parent
   /// CAS retires the announcement and the frozen originals.
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void complete_enode(ENode* en) {
     testkit::chaos_point("cachetrie.enode_complete");
     freeze(en->target);
@@ -1000,6 +1010,7 @@ class CacheTrie {
     }
     testkit::chaos_point("cachetrie.enode_publish");
     NodeBase* expected = Sentinels::pending();
+    // [publishes: CT_ENODE_RESULT]
     if (!en->result.compare_exchange_strong(expected, replacement,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
@@ -1036,6 +1047,7 @@ class CacheTrie {
   /// collision-free.
   void expand_copy(ANode* narrow, ANode* wide, std::uint32_t lev) {
     for (std::uint32_t i = 0; i < narrow->length; ++i) {
+      // [acquires: CT_FREEZE]
       NodeBase* node = narrow->slots()[i].load(std::memory_order_acquire);
       if (node == Sentinels::fv()) continue;
       assert(node != nullptr && node->kind == Kind::kSNode &&
@@ -1202,6 +1214,7 @@ class CacheTrie {
     }
   }
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void retire_chain(LNodeT* chain) {
     while (chain != nullptr) {
       LNodeT* next = chain->next;
@@ -1215,6 +1228,7 @@ class CacheTrie {
   /// winner of the parent-slot CAS in complete_enode. `prefix` is the
   /// subtree root's path (low `level` bits are significant) — needed to
   /// clear cache entries that may still reference nodes of the subtree.
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void retire_frozen(ANode* frozen, std::uint64_t prefix,
                      std::uint32_t level) {
     for (std::uint32_t i = 0; i < frozen->length; ++i) {
@@ -1296,12 +1310,14 @@ class CacheTrie {
   void maybe_inhabit(NodeBase* nv, std::uint64_t h,
                      std::uint32_t node_level) const {
     if (!config_.use_cache) return;
+    // [acquires: CT_CACHE_HEAD]
     CacheArray* cache = cache_head_.load(std::memory_order_acquire);
     if (cache == nullptr) {
       if (node_level < config_.cache_init_trigger_level) return;
       CacheArray* fresh = CacheArray::make(config_.cache_init_level,
                                            config_.miss_slots, nullptr);
       CacheArray* expected = nullptr;
+      // [publishes: CT_CACHE_HEAD]
       if (cache_head_.compare_exchange_strong(expected, fresh,
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
@@ -1326,6 +1342,7 @@ class CacheTrie {
       // inhabiter sees the mark, or the clearer sees the store — so no
       // resurrection survives the node's grace period.
       auto& entry = cache->entries()[cache->index_of(h)];
+      // [publishes: CT_CACHE_INSTALL]
       entry.store(nv, std::memory_order_release);
       std::atomic_thread_fence(std::memory_order_seq_cst);
       if (!cachee_live(nv, h, node_level)) {
@@ -1371,6 +1388,7 @@ class CacheTrie {
   void clear_cache_refs(NodeBase* node, std::uint64_t path_hash,
                         std::uint32_t level) const {
     if (!config_.use_cache) return;
+    // [acquires: CT_CACHE_INSTALL]
     std::atomic_thread_fence(std::memory_order_seq_cst);
     for (CacheArray* c = cache_head_.load(std::memory_order_acquire);
          c != nullptr; c = c->parent) {
@@ -1476,6 +1494,7 @@ class CacheTrie {
   /// Installs a cache array at `desired`, reusing the ancestor chain. The
   /// chain's levels are strictly decreasing, so growing prepends a deeper
   /// array and shrinking pops (and retires) a prefix.
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void adjust_cache_level(CacheArray* head, std::uint32_t desired) const {
     if (head->level == desired) return;
     if (desired > head->level) {

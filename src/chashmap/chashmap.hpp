@@ -108,6 +108,15 @@ class ConcurrentHashMap {
   struct ForwardNode {
     Node node;  // node.hash == kForwardHash; key/value default
     Table* fwd;
+
+    /// Designated allocator (SMR rule: raw `new` of protocol nodes lives
+    /// only in make/destroy helpers).
+    static ForwardNode* make(Table* next) {
+      auto* f = new ForwardNode{};
+      f->node.hash = kForwardHash;
+      f->fwd = next;
+      return f;
+    }
   };
 
  public:
@@ -151,8 +160,10 @@ class ConcurrentHashMap {
     [[maybe_unused]] auto guard = Reclaimer::pin();
     testkit::chaos_point("chm.pinned");
     const std::uint64_t h = adjust_hash(hasher_(key));
+    // [acquires: CHM_TABLE_PUBLISH]
     Table* t = table_.load(std::memory_order_acquire);
     while (true) {
+      // [acquires: CHM_BIN_LINK]
       Node* n = t->bins()[h & (t->nbins - 1)].load(std::memory_order_acquire);
       while (n != nullptr) {
         if (n->hash == kForwardHash) {
@@ -274,6 +285,7 @@ class ConcurrentHashMap {
       util::Backoff backoff;
       auto& lk = t->locks()[bi];
       std::uint8_t expected = 0;
+      // [acquires: CHM_BIN_LOCK]
       while (!lk.compare_exchange_weak(expected, 1,
                                        std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
@@ -285,6 +297,7 @@ class ConcurrentHashMap {
       // readers and empty-bin CASers overlap it.
       testkit::chaos_point("chm.bin_locked");
     }
+    // [publishes: CHM_BIN_LOCK]
     ~BinLock() { t->locks()[bi].store(0, std::memory_order_release); }
   };
 
@@ -307,6 +320,7 @@ class ConcurrentHashMap {
         Node* fresh = Node::make(h, key, value, nullptr);
         testkit::chaos_point("chm.bin_cas");
         Node* expected = nullptr;
+        // [publishes: CHM_BIN_LINK]
         if (bin.compare_exchange_strong(expected, fresh,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
@@ -314,7 +328,7 @@ class ConcurrentHashMap {
           maybe_resize(t);
           return true;
         }
-        delete fresh;
+        delete fresh;  // [delete: unpublished]
         continue;
       }
       if (head->hash == kForwardHash) {
@@ -382,6 +396,7 @@ class ConcurrentHashMap {
 
   void help_transfer(Table* t) { start_or_help_transfer(t); }
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void start_or_help_transfer(Table* t) {
     testkit::chaos_point("chm.transfer_help");
     if (table_.load(std::memory_order_acquire) != t) return;  // superseded
@@ -406,14 +421,13 @@ class ConcurrentHashMap {
     // One shared forwarding marker per transfer (as in the JDK), planted
     // into every transferred bin.
     if (t->marker.load(std::memory_order_acquire) == nullptr) {
-      auto* fwd = new ForwardNode{};
-      fwd->node.hash = kForwardHash;
-      fwd->fwd = next;
+      auto* fwd = ForwardNode::make(next);
       void* expected = nullptr;
+      // [publishes: CHM_FORWARD]
       if (!t->marker.compare_exchange_strong(expected, fwd,
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
-        delete fwd;
+        delete fwd;  // [delete: unpublished]
       }
     }
     // Claim strides of bins and transfer them.
@@ -431,6 +445,7 @@ class ConcurrentHashMap {
         // Last transferrer publishes the new table and retires the old.
         testkit::chaos_point("chm.table_publish");
         Table* expected = t;
+        // [publishes: CHM_TABLE_PUBLISH]
         if (table_.compare_exchange_strong(expected, next,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
@@ -446,6 +461,7 @@ class ConcurrentHashMap {
     }
   }
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void transfer_bin(Table* t, Table* next, std::size_t bi) {
     obs::sites::chm_transfer_bin.add();
     obs::trace::emit(obs::trace::EventId::kChmTransferBin, bi, t->nbins);
@@ -487,7 +503,9 @@ class ConcurrentHashMap {
       // The new bins (bi, bi+nbins) stay private until the forwarding
       // marker publishes them — no other old bin maps to this pair.
       auto* fwd =
-          static_cast<ForwardNode*>(t->marker.load(std::memory_order_acquire));
+          // [acquires: CHM_FORWARD]
+          static_cast<ForwardNode*>(
+              t->marker.load(std::memory_order_acquire));
       assert(fwd != nullptr);
       next->bins()[bi].store(lo, std::memory_order_release);
       next->bins()[bi + t->nbins].store(hi, std::memory_order_release);
@@ -515,12 +533,12 @@ class ConcurrentHashMap {
       next->bins()[bi + t->nbins].store(nullptr, std::memory_order_relaxed);
       while (lo != nullptr && lo != last_run) {
         Node* nx = lo->next.load(std::memory_order_relaxed);
-        delete lo;
+        delete lo;  // [delete: unpublished]
         lo = nx;
       }
       while (hi != nullptr && hi != last_run) {
         Node* nx = hi->next.load(std::memory_order_relaxed);
-        delete hi;
+        delete hi;  // [delete: unpublished]
         hi = nx;
       }
     }

@@ -291,6 +291,7 @@ class Ctrie {
 
   Res ilookup(INode* i, const K& key, std::uint64_t h, std::uint32_t lev,
               INode* parent, std::optional<V>* out) const {
+    // [acquires: CTRIE_GCAS]
     Base* main = i->main.load(std::memory_order_acquire);
     switch (main->kind) {
       case Kind::kCNode: {
@@ -331,6 +332,7 @@ class Ctrie {
 
   // --- insert ---------------------------------------------------------------
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   Res iinsert(INode* i, const K& key, const V& value, std::uint64_t h,
               std::uint32_t lev, INode* parent,
               bool only_if_absent = false) {
@@ -360,7 +362,7 @@ class Ctrie {
             Reclaimer::template retire<SNodeT>(sn);
             return Res::kReplaced;
           }
-          delete nsn;
+          delete nsn;  // [delete: unpublished]
           CNode::destroy(ncn);
           return Res::kRestart;
         }
@@ -392,7 +394,7 @@ class Ctrie {
           Base* grown = branch_lnode_apart(ln, nsn, lev);
           if (cas_main(i, ln, grown)) return Res::kNew;
           destroy_grown_sparing(grown, ln);
-          delete nsn;
+          delete nsn;  // [delete: unpublished]
           return Res::kRestart;
         }
         bool found = false;
@@ -424,6 +426,7 @@ class Ctrie {
 
   // --- remove ---------------------------------------------------------------
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   Res iremove(INode* i, const K& key, std::uint64_t h, std::uint32_t lev,
               INode* parent, std::optional<V>* out) {
     Base* main = i->main.load(std::memory_order_acquire);
@@ -462,6 +465,7 @@ class Ctrie {
             // to_contracted consumes ncn when it entombs; destroy whichever
             // unpublished object we are left holding.
             if (contracted != ncn) {
+              // [delete: unpublished]
               delete static_cast<TNodeT*>(contracted)->sn;
               delete static_cast<TNodeT*>(contracted);
             } else {
@@ -519,6 +523,7 @@ class Ctrie {
           return Res::kFound;
         }
         if (replacement->kind == Kind::kTNode) {
+          // [delete: unpublished]
           delete static_cast<TNodeT*>(replacement)->sn;
           delete static_cast<TNodeT*>(replacement);
         } else {
@@ -535,6 +540,7 @@ class Ctrie {
 
   // --- contraction (clean / cleanParent) -------------------------------------
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   bool cas_main(INode* i, Base* expected, Base* desired) {
     // The GCAS stand-in: every structural replacement funnels through this
     // single INode.main CAS, so one chaos point (and one trace span,
@@ -545,6 +551,7 @@ class Ctrie {
         reinterpret_cast<std::uintptr_t>(i)};
     testkit::chaos_point("ctrie.gcas");
     Base* e = expected;
+    // [publishes: CTRIE_GCAS]
     if (i->main.compare_exchange_strong(e, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
@@ -563,6 +570,7 @@ class Ctrie {
 
   /// Retires a replaced main node: the container only — branches are shared
   /// with the replacement by construction.
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void retire_main_container(Base* main) {
     if (main->kind == Kind::kCNode) {
       Reclaimer::retire_raw_sized(
@@ -595,6 +603,7 @@ class Ctrie {
   /// the CAS would race with concurrent entombments (a branch that became
   /// tombed after the copy is still shared by the new CNode and must NOT be
   /// retired; a later clean_parent owns it).
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void clean(INode* i, std::uint32_t lev) const {
     if (i == nullptr) return;  // tomb directly under the root cannot occur
     Base* main = i->main.load(std::memory_order_acquire);
@@ -658,7 +667,7 @@ class Ctrie {
         bool fresh = false;
         for (const auto& r : recs) fresh = fresh || r.copy == survivor;
         if (fresh) {
-          delete survivor;
+          delete survivor;  // [delete: unpublished]
         } else {
           Reclaimer::template retire<SNodeT>(survivor);
         }
@@ -678,8 +687,10 @@ class Ctrie {
     obs::sites::ctrie_gcas_retry.add();
     obs::trace::emit(obs::trace::EventId::kCtrieGcasRetry,
                      reinterpret_cast<std::uintptr_t>(i));
+    // [delete: unpublished]
     for (const auto& r : recs) delete r.copy;
     if (tombs) {
+      // [delete: unpublished]
       delete static_cast<TNodeT*>(desired)->sn;
       delete static_cast<TNodeT*>(desired);
       // A fresh `survivor` copy was already deleted via recs above; a
@@ -689,6 +700,7 @@ class Ctrie {
     }
   }
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void clean_parent(INode* parent, INode* i, std::uint64_t h,
                     std::uint32_t lev) {
     Base* main = parent->main.load(std::memory_order_acquire);
@@ -718,7 +730,7 @@ class Ctrie {
       if (contracted != ncn) {
         // The tombstone holds yet another copy; the fresh `resurrected`
         // was consumed by to_contracted's container and never published.
-        delete resurrected;
+        delete resurrected;  // [delete: unpublished]
       }
       obs::sites::ctrie_clean_parent.add();
       obs::trace::emit(obs::trace::EventId::kCtrieCleanParent,
@@ -732,12 +744,13 @@ class Ctrie {
       obs::trace::emit(obs::trace::EventId::kCtrieGcasRetry,
                        reinterpret_cast<std::uintptr_t>(parent));
       if (contracted != ncn) {
+        // [delete: unpublished]
         delete static_cast<TNodeT*>(contracted)->sn;
         delete static_cast<TNodeT*>(contracted);
       } else {
         CNode::destroy(ncn);
       }
-      delete resurrected;
+      delete resurrected;  // [delete: unpublished]
       clean_parent(parent, i, h, lev);  // retry
     }
   }
@@ -871,6 +884,7 @@ class Ctrie {
     }
   }
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   void retire_chain(LNodeT* chain) {
     while (chain != nullptr) {
       LNodeT* next = chain->next;

@@ -36,11 +36,13 @@ double run_team_ms(int threads, Body&& body) {
       const std::int64_t t1 = Clock::now().time_since_epoch().count();
       std::int64_t seen = earliest.load(std::memory_order_relaxed);
       while (t0 < seen && !earliest.compare_exchange_weak(
-                              seen, t0, std::memory_order_relaxed)) {
+                              seen, t0, std::memory_order_relaxed,
+                              std::memory_order_relaxed)) {
       }
       seen = latest.load(std::memory_order_relaxed);
       while (t1 > seen && !latest.compare_exchange_weak(
-                              seen, t1, std::memory_order_relaxed)) {
+                              seen, t1, std::memory_order_relaxed,
+                              std::memory_order_relaxed)) {
       }
     });
   }

@@ -59,12 +59,14 @@ EpochDomain& EpochDomain::instance() {
 
 EpochDomain::ThreadRecord* EpochDomain::acquire_record() {
   // First try to recycle a record left behind by an exited thread.
+  // [acquires: MR_RECORD_LINK]
   for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
        rec != nullptr; rec = rec->next) {
     bool expected = false;
     if (!rec->in_use.load(std::memory_order_relaxed) &&
         rec->in_use.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
       return rec;
     }
   }
@@ -75,6 +77,7 @@ EpochDomain::ThreadRecord* EpochDomain::acquire_record() {
   ThreadRecord* head = records_.load(std::memory_order_acquire);
   do {
     rec->next = head;
+    // [publishes: MR_RECORD_LINK]
   } while (!records_.compare_exchange_weak(head, rec,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire));
@@ -107,7 +110,9 @@ void EpochDomain::enter() {
   // window where we would announce a stale epoch after an advance.
   std::uint64_t e;
   do {
+    // [acquires: EPOCH_FLIP]
     e = global_epoch_.load(std::memory_order_acquire);
+    // [publishes: EPOCH_PIN]
     rec->state.store((e << kEpochShift) | kPinnedBit,
                      std::memory_order_seq_cst);
   } while (global_epoch_.load(std::memory_order_seq_cst) != e);
@@ -142,7 +147,8 @@ bool EpochDomain::current_thread_declared_stalled() {
 void EpochDomain::note_limbo_bytes(std::size_t now) noexcept {
   std::size_t hwm = limbo_bytes_hwm_.load(std::memory_order_relaxed);
   while (now > hwm && !limbo_bytes_hwm_.compare_exchange_weak(
-                          hwm, now, std::memory_order_relaxed)) {
+                          hwm, now, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
   }
 }
 
@@ -185,12 +191,14 @@ bool EpochDomain::try_advance() {
   std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
        rec != nullptr; rec = rec->next) {
+    // [acquires: EPOCH_PIN]
     const std::uint64_t s = rec->state.load(std::memory_order_seq_cst);
     if ((s & kPinnedBit) != 0 && (s & kStalledBit) == 0 &&
         (s >> kEpochShift) != e) {
       return false;  // straggler reader not (yet) declared stalled
     }
   }
+  // [publishes: EPOCH_FLIP]
   const bool advanced = global_epoch_.compare_exchange_strong(
       e, e + 1, std::memory_order_acq_rel, std::memory_order_acquire);
   if (advanced) {
@@ -229,7 +237,8 @@ std::size_t EpochDomain::fallback_scan() {
       // Losing the CAS means the owner exited (tick reset — correct) or a
       // concurrent sweep ticked first (skip one tick — harmless).
       if (rec->state.compare_exchange_strong(s, desired,
-                                             std::memory_order_acq_rel) &&
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed) &&
           (desired & kStalledBit) != 0) {
         stalled_records_.fetch_add(1, std::memory_order_relaxed);
         obs::trace::emit(obs::trace::EventId::kMrStallDeclare,
@@ -282,6 +291,7 @@ void EpochDomain::orphan_all(ThreadRecord& rec) {
       Orphan* head = orphans_.load(std::memory_order_acquire);
       do {
         orphan->next = head;
+        // [publishes: MR_ORPHANS]
       } while (!orphans_.compare_exchange_weak(head, orphan,
                                                std::memory_order_acq_rel,
                                                std::memory_order_acquire));
@@ -315,6 +325,7 @@ void EpochDomain::collect_orphans(std::uint64_t current) {
   }
   while (keep != nullptr) {
     Orphan* next = keep->next;
+    // [acquires: MR_ORPHANS]
     Orphan* cur_head = orphans_.load(std::memory_order_acquire);
     do {
       keep->next = cur_head;

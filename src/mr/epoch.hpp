@@ -120,6 +120,7 @@ class EpochDomain {
   void retire(void* p, Deleter deleter,
               std::size_t bytes = kUnknownRetiredBytes);
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   template <typename T>
   void retire(T* p) {
     retire(static_cast<void*>(p), &delete_as<T>, sizeof(T));
@@ -289,13 +290,16 @@ class EpochDomain {
 struct EpochReclaimer {
   using Guard = EpochDomain::Guard;
   static Guard pin() { return EpochDomain::instance().pin(); }
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   template <typename T>
   static void retire(T* p) {
     EpochDomain::instance().retire(p);
   }
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   static void retire_raw(void* p, Deleter d) {
     EpochDomain::instance().retire(p, d);
   }
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   static void retire_raw_sized(void* p, Deleter d, std::size_t bytes) {
     EpochDomain::instance().retire(p, d, bytes);
   }

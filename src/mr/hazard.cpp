@@ -25,7 +25,8 @@ HazardDomain::ThreadRecord* HazardDomain::acquire_record() {
     bool expected = false;
     if (!rec->in_use.load(std::memory_order_relaxed) &&
         rec->in_use.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
       return rec;
     }
   }
@@ -91,6 +92,7 @@ std::size_t HazardDomain::scan_list(std::vector<Retired>& list) {
   for (ThreadRecord* rec = records_.load(std::memory_order_acquire);
        rec != nullptr; rec = rec->next) {
     for (const auto& slot : rec->slots) {
+      // [acquires: HP_PUBLISH]
       void* p = slot.load(std::memory_order_seq_cst);
       if (p != nullptr) protected_ptrs.push_back(p);
     }
@@ -136,11 +138,13 @@ void HazardDomain::orphan_all(ThreadRecord& rec) {
     if (cur == nullptr) {
       std::vector<Retired>* expected = nullptr;
       if (orphans_.compare_exchange_strong(expected, mine,
-                                           std::memory_order_acq_rel)) {
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
         return;
       }
     } else if (orphans_.compare_exchange_strong(cur, nullptr,
-                                                std::memory_order_acq_rel)) {
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
       mine->insert(mine->end(), cur->begin(), cur->end());
       delete cur;
     }

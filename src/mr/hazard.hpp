@@ -58,6 +58,7 @@ class HazardDomain {
     T* protect(const std::atomic<T*>& src) noexcept {
       T* p = src.load(std::memory_order_acquire);
       while (true) {
+        // [publishes: HP_PUBLISH]
         slot_->store(p, std::memory_order_seq_cst);
         T* q = src.load(std::memory_order_seq_cst);
         if (q == p) return p;
@@ -85,6 +86,7 @@ class HazardDomain {
 
   void retire(void* p, Deleter deleter);
 
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   template <typename T>
   void retire(T* p) {
     retire(static_cast<void*>(p), &delete_as<T>);
@@ -158,13 +160,16 @@ class HazardDomain {
 struct HazardReclaimer {
   struct Guard {};
   static Guard pin() { return {}; }
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   template <typename T>
   static void retire(T* p) {
     HazardDomain::instance().retire(p);
   }
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   static void retire_raw(void* p, Deleter d) {
     HazardDomain::instance().retire(p, d);
   }
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
   static void retire_raw_sized(void* p, Deleter d, std::size_t) {
     // Hazard garbage is already bounded by O(threads * slots); the byte
     // hint only matters for the epoch domain's limbo cap.

@@ -131,12 +131,14 @@ class Registry {
   /// Adopts a recycled ring or allocates a fresh one (the only allocation
   /// in the layer, once per thread lifetime, outside any protocol step).
   detail::ThreadRing* acquire_ring() {
+    // [acquires: TRACE_RING_PUBLISH]
     for (detail::ThreadRing* r = rings_.load(std::memory_order_acquire);
          r != nullptr; r = r->next) {
       bool expected = false;
       if (!r->in_use.load(std::memory_order_relaxed) &&
           r->in_use.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
         return r;
       }
     }
@@ -147,6 +149,7 @@ class Registry {
     detail::ThreadRing* head = rings_.load(std::memory_order_acquire);
     do {
       r->next = head;
+    // [publishes: TRACE_RING_PUBLISH]
     } while (!rings_.compare_exchange_weak(head, r,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire));
@@ -164,6 +167,7 @@ class Registry {
       const std::uint64_t lo = head > r->capacity ? head - r->capacity : 0;
       for (std::uint64_t i = lo; i < head; ++i) {
         const detail::Slot& s = r->slots[i & (r->capacity - 1)];
+        // [acquires: TRACE_SEQLOCK]
         if (s.seq.load(std::memory_order_acquire) != i + 1) continue;
         Event ev;
         ev.ts = s.ts.load(std::memory_order_relaxed);
@@ -279,6 +283,7 @@ inline void emit_slow(EventId id, std::uint64_t a0,
                std::memory_order_relaxed);
   s.a0.store(a0, std::memory_order_relaxed);
   s.a1.store(a1, std::memory_order_relaxed);
+  // [publishes: TRACE_SEQLOCK]
   s.seq.store(i + 1, std::memory_order_release);
   r->head.store(i + 1, std::memory_order_relaxed);
 }

@@ -179,6 +179,7 @@ class ConcurrentSkipList {
     Node* succs[kMaxLevel];
     while (true) {
       if (find(key, preds, succs)) {
+        // [acquires: CSL_VSYNC]
         if (succs[0]->vsync.load(std::memory_order_seq_cst) & kDead) {
           // Found only the corpse of a concurrent removal: from our view
           // the key is absent, so behave like the not-found path would.
@@ -218,6 +219,7 @@ class ConcurrentSkipList {
     for (int lev = kMaxLevel - 1; lev >= 0; --lev) {
       curr = ptr_of(pred->next()[lev].load(std::memory_order_seq_cst));
       while (curr != nullptr) {
+        // [acquires: CSL_MARK]
         std::uintptr_t succ_t =
             curr->next()[lev].load(std::memory_order_seq_cst);
         while (marked(succ_t)) {  // skip corpses without adopting them
@@ -269,7 +271,9 @@ class ConcurrentSkipList {
         continue;
       }
       testkit::chaos_point("csl.mark_bottom");
+      // [publishes: CSL_VSYNC]
       if (victim->vsync.compare_exchange_weak(s, s | kDead,
+                                              std::memory_order_seq_cst,
                                               std::memory_order_seq_cst)) {
         obs::trace::emit(obs::trace::EventId::kCslMarkBottom, key,
                          victim->top_level);
@@ -359,8 +363,10 @@ class ConcurrentSkipList {
  private:
   bool head_level_cas(Node* pred, int lev, std::uintptr_t& expected,
                       std::uintptr_t desired) {
+    // [publishes: CSL_LINK]
     return pred->next()[lev].compare_exchange_strong(
-        expected, desired, std::memory_order_seq_cst);
+        expected, desired, std::memory_order_seq_cst,
+        std::memory_order_seq_cst);
   }
 
   /// Serializes an in-place value update against logical removal: claim the
@@ -378,6 +384,7 @@ class ConcurrentSkipList {
         continue;
       }
       if (n->vsync.compare_exchange_weak(s, s + kWriter,
+                                         std::memory_order_seq_cst,
                                          std::memory_order_seq_cst)) {
         break;
       }
@@ -407,7 +414,9 @@ class ConcurrentSkipList {
       testkit::chaos_point("csl.mark_upper");
       std::uintptr_t t = n->next()[lev].load(std::memory_order_seq_cst);
       while (!marked(t)) {
+        // [publishes: CSL_MARK]
         if (n->next()[lev].compare_exchange_weak(t, t | 1,
+                                                 std::memory_order_seq_cst,
                                                  std::memory_order_seq_cst)) {
           break;
         }
@@ -416,6 +425,7 @@ class ConcurrentSkipList {
     std::uintptr_t t = n->next()[0].load(std::memory_order_seq_cst);
     while (!marked(t)) {
       if (n->next()[0].compare_exchange_weak(t, t | 1,
+                                             std::memory_order_seq_cst,
                                              std::memory_order_seq_cst)) {
         break;
       }
@@ -436,14 +446,16 @@ class ConcurrentSkipList {
         if (ptr_of(own) != succs[lev]) {
           // Align our forward pointer with the current successor first.
           if (!n->next()[lev].compare_exchange_strong(
-                  own, pack(succs[lev], false), std::memory_order_seq_cst)) {
+                  own, pack(succs[lev], false), std::memory_order_seq_cst,
+                  std::memory_order_seq_cst)) {
             continue;
           }
         }
         std::uintptr_t expected = pack(succs[lev], false);
         testkit::chaos_point("csl.link_upper");
         if (preds[lev]->next()[lev].compare_exchange_strong(
-                expected, pack(n, false), std::memory_order_seq_cst)) {
+                expected, pack(n, false), std::memory_order_seq_cst,
+                std::memory_order_seq_cst)) {
           // Re-check for the resurrection race: if the successor we just
           // published was marked meanwhile, a remover may already have
           // finished its unlink pass — snip it ourselves via find().
@@ -474,6 +486,7 @@ class ConcurrentSkipList {
   retry:
     Node* pred = head_;
     for (int lev = kMaxLevel - 1; lev >= 0; --lev) {
+      // [acquires: CSL_LINK]
       Node* curr = ptr_of(pred->next()[lev].load(std::memory_order_seq_cst));
       while (true) {
         if (curr == nullptr) break;
@@ -484,7 +497,7 @@ class ConcurrentSkipList {
           std::uintptr_t expected = pack(curr, false);
           if (!pred->next()[lev].compare_exchange_strong(
                   expected, pack(ptr_of(succ_t), false),
-                  std::memory_order_seq_cst)) {
+                  std::memory_order_seq_cst, std::memory_order_seq_cst)) {
             obs::sites::csl_cas_retry.add();
             goto retry;
           }

@@ -119,10 +119,12 @@ inline void set_global_seed(std::uint64_t seed) noexcept {
 /// Master switch; chaos points are free-of-side-effects while disabled so
 /// unrelated tests in the same binary are not perturbed.
 inline void enable(bool on) noexcept {
+  // [publishes: TK_CHAOS_ENABLE]
   detail::g_enabled.store(on, std::memory_order_release);
 }
 
 inline bool enabled() noexcept {
+  // [acquires: TK_CHAOS_ENABLE]
   return detail::g_enabled.load(std::memory_order_acquire);
 }
 

@@ -244,6 +244,7 @@ inline void execute(const Spec& spec) {
 }
 
 inline void on_chaos_point(const char* /*site*/, std::uint64_t site_h) {
+  // [acquires: TK_FAULT_PLAN]
   PlanState* plan = g_plan.load(std::memory_order_acquire);
   if (plan == nullptr) return;
   ThreadHits& th = thread_hits();
@@ -279,6 +280,7 @@ inline void install(const Plan& plan) {
     std::lock_guard<std::mutex> lk(detail::plan_mutex());
     detail::plan_history().push_back(std::move(state));
   }
+  // [publishes: TK_FAULT_PLAN]
   detail::g_plan.store(raw, std::memory_order_release);
   chaos::set_fault_hook(&detail::on_chaos_point);
 }

@@ -49,6 +49,7 @@ class ProgressWatchdog {
   /// the workload may already be winding down inside it.
   void stop() {
     if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+    // [publishes: TK_WATCHDOG_STOP]
     stop_requested_.store(true, std::memory_order_release);
     if (monitor_.joinable()) monitor_.join();
   }
@@ -70,6 +71,7 @@ class ProgressWatchdog {
  private:
   void run() {
     std::uint64_t last = counter_.load(std::memory_order_relaxed);
+    // [acquires: TK_WATCHDOG_STOP]
     while (!stop_requested_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(tick_);
       if (stop_requested_.load(std::memory_order_acquire)) break;
@@ -88,7 +90,8 @@ class ProgressWatchdog {
       }
       std::uint64_t prev = min_delta_.load(std::memory_order_relaxed);
       while (delta < prev && !min_delta_.compare_exchange_weak(
-                                 prev, delta, std::memory_order_relaxed)) {
+                                 prev, delta, std::memory_order_relaxed,
+                                 std::memory_order_relaxed)) {
       }
     }
   }

@@ -1,0 +1,29 @@
+// Fixture: CAS must spell out BOTH the success and the failure order.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Claim {
+  std::atomic<int> v{0};
+
+  bool fully_defaulted(int& e) {
+    return v.compare_exchange_strong(e, 1);  // expect: atomics.default-order
+  }
+
+  bool success_only(int& e) {
+    // Naming just the success order still leaves the failure order
+    // implementation-derived.
+    return v.compare_exchange_weak(  // expect: atomics.cas-failure-order
+        e, 1, std::memory_order_acq_rel);
+  }
+
+  bool both_orders(int& e) {
+    // Fully spelled out -- clean.
+    return v.compare_exchange_strong(e, 1, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed);
+  }
+};
+
+}  // namespace fixture

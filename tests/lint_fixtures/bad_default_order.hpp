@@ -1,0 +1,31 @@
+// Fixture: every defaulted memory order on a plain atomic op is a finding.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Flags {
+  std::atomic<int> v{0};
+
+  int peek() {
+    return v.load();  // expect: atomics.default-order
+  }
+
+  void set(int x) {
+    v.store(x);  // expect: atomics.default-order
+  }
+
+  int bump() {
+    return v.fetch_add(1);  // expect: atomics.default-order
+  }
+
+  int swap(int x) {
+    return v.exchange(x);  // expect: atomics.default-order
+  }
+
+  // Explicit order on the same methods is fine -- no finding here.
+  int peek_explicit() { return v.load(std::memory_order_relaxed); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: a function under the no-retire helper contract must never
+// retire -- its caller owns reclamation of everything it touches.
+#pragma once
+
+namespace fixture {
+
+struct Reclaimer {
+  struct Guard {};
+  Guard pin();
+  template <class T>
+  void retire(T* p);
+};
+
+struct Node {
+  int k;
+};
+
+// [helper: no-retire]
+inline void compress_path(Reclaimer& r, Node* n) {
+  auto g = r.pin();
+  r.retire(n);  // expect: smr.helper-retires
+  (void)g;
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: every declared edge needs at least one [publishes:] and one
+// [acquires:] site. FIX_HALF has only a publish side; FIX_NONE has neither.
+//
+// expect: contract.missing-acquire
+// expect: contract.missing-publish
+// expect: contract.missing-acquire
+#pragma once
+
+#include <atomic>
+
+#define CACHETRIE_ORDERING_EDGES(X)                            \
+  X(FIX_HALF, "fixture edge with only a publish side")         \
+  X(FIX_NONE, "fixture edge with no annotated sites at all")
+
+namespace fixture {
+
+struct Box {
+  std::atomic<int*> slot{nullptr};
+
+  void publish(int* p) {
+    // [publishes: FIX_HALF]
+    slot.store(p, std::memory_order_release);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a [publishes:]/[acquires:] tag must bind to an atomic op or
+// fence on the same line or within the next three lines.
+#pragma once
+
+namespace fixture {
+
+// [publishes: FIX_ORPHAN]
+// expect: contract.orphan-annotation
+int nothing_atomic_here();
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: a pure load can never be the release side of an edge.
+#pragma once
+
+#include <atomic>
+
+#define CACHETRIE_ORDERING_EDGES(X) \
+  X(FIX_LOAD, "fixture edge whose publish side is wrongly a load")
+
+namespace fixture {
+
+struct Box {
+  std::atomic<int*> slot{nullptr};
+
+  int* not_a_publish() {
+    // [publishes: FIX_LOAD]
+    // expect: contract.publish-on-load
+    return slot.load(std::memory_order_acquire);
+  }
+
+  int* observe() {
+    // [acquires: FIX_LOAD]
+    return slot.load(std::memory_order_acquire);
+  }
+};
+
+}  // namespace fixture

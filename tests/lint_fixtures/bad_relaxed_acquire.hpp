@@ -1,0 +1,27 @@
+// Fixture: a relaxed load cannot be the acquire side of an edge -- it
+// synchronizes with nothing.
+#pragma once
+
+#include <atomic>
+
+#define CACHETRIE_ORDERING_EDGES(X) \
+  X(FIX_RLX, "fixture edge whose acquire side is wrongly relaxed")
+
+namespace fixture {
+
+struct Box {
+  std::atomic<int*> slot{nullptr};
+
+  void publish(int* p) {
+    // [publishes: FIX_RLX]
+    slot.store(p, std::memory_order_release);
+  }
+
+  int* observe() {
+    // [acquires: FIX_RLX]
+    // expect: contract.relaxed-acquire
+    return slot.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace fixture

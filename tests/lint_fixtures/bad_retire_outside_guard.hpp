@@ -1,0 +1,33 @@
+// Fixture: retire() is only safe while a reclaimer guard is pinned (or in
+// a function carrying the caller-pinned annotation).
+#pragma once
+
+namespace fixture {
+
+struct Reclaimer {
+  struct Guard {};
+  Guard pin();
+  template <class T>
+  void retire(T* p);
+};
+
+struct Node {
+  int k;
+};
+
+inline void drop_node(Reclaimer& r, Node* n) {
+  r.retire(n);  // expect: smr.retire-outside-guard
+}
+
+inline void drop_node_guarded(Reclaimer& r, Node* n) {
+  auto g = r.pin();
+  r.retire(n);  // clean: guard pinned in scope
+  (void)g;
+}
+
+// [smr: caller-pinned] -- the guard is held by the public entry point.
+inline void drop_node_caller_pinned(Reclaimer& r, Node* n) {
+  r.retire(n);  // clean: annotation shifts the obligation to the caller
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: annotations may only name edges declared in the
+// CACHETRIE_ORDERING_EDGES table; this file declares none.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Box {
+  std::atomic<int*> slot{nullptr};
+
+  void publish(int* p) {
+    // [publishes: NOT_IN_THE_TABLE]
+    // expect: contract.unknown-edge
+    slot.store(p, std::memory_order_release);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: raw delete on a protocol node outside a designated destroy
+// helper and without a [delete: unpublished] tag is a finding. The rule
+// applies because this path contains a protocol-node directory component.
+#pragma once
+
+namespace fixture {
+
+struct Node {
+  int k;
+};
+
+inline void unlink_loser(Node* n) {
+  delete n;  // expect: smr.raw-delete
+}
+
+inline void destroy_node(Node* n) {
+  delete n;  // clean: designated destroy helper
+}
+
+inline void cas_loser(Node* n) {
+  delete n;  // [delete: unpublished] -- clean: node never published
+}
+
+}  // namespace fixture

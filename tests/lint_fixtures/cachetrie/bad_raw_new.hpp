@@ -1,0 +1,19 @@
+// Fixture: protocol nodes are allocated by designated make helpers; a raw
+// new elsewhere is a finding.
+#pragma once
+
+namespace fixture {
+
+struct Node {
+  int k;
+};
+
+inline Node* make_node(int k) {
+  return new Node{k};  // clean: designated make helper
+}
+
+inline Node* insert_path(int k) {
+  return new Node{k};  // expect: smr.raw-new
+}
+
+}  // namespace fixture

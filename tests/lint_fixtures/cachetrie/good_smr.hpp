@@ -1,0 +1,34 @@
+// Fixture: the blessed SMR shapes -- designated make/destroy helpers,
+// retire under a pinned guard, caller-pinned delegation, and a tagged
+// loser-path delete. Must pass clean.
+#pragma once
+
+namespace fixture {
+
+struct Reclaimer {
+  struct Guard {};
+  Guard pin();
+  template <class T>
+  void retire(T* p);
+};
+
+struct Node {
+  int k;
+};
+
+inline Node* make_node(int k) { return new Node{k}; }
+
+inline void destroy_node(Node* n) { delete n; }
+
+// [smr: caller-pinned] -- the guard is held by the public entry point.
+inline void retire_chain(Reclaimer& r, Node* n) { r.retire(n); }
+
+inline void insert(Reclaimer& r, Node* old_node, int k) {
+  auto g = r.pin();
+  Node* fresh = make_node(k);
+  r.retire(old_node);
+  delete fresh;  // [delete: unpublished] -- lost the CAS, never published
+  (void)g;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: idiomatic atomics with every order spelled out -- must pass
+// clean through all three rule families.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Counter {
+  std::atomic<int> v{0};
+  std::atomic<int*> slot{nullptr};
+
+  int peek() const { return v.load(std::memory_order_relaxed); }
+
+  void set(int x) { v.store(x, std::memory_order_release); }
+
+  int bump() { return v.fetch_add(1, std::memory_order_acq_rel); }
+
+  bool claim(int& e) {
+    return v.compare_exchange_strong(e, 1, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed);
+  }
+
+  bool claim_loop(int& e) {
+    while (!v.compare_exchange_weak(e, e + 1, std::memory_order_seq_cst,
+                                    std::memory_order_seq_cst)) {
+    }
+    return true;
+  }
+
+  void fence_pair() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+};
+
+}  // namespace fixture

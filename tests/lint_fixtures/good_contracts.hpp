@@ -1,0 +1,26 @@
+// Fixture: a declared edge with one publish and one acquire site, bound
+// within the annotation window -- must pass clean.
+#pragma once
+
+#include <atomic>
+
+#define CACHETRIE_ORDERING_EDGES(X) \
+  X(FIX_GOOD, "fixture edge: store(release) publishes, load(acquire) reads")
+
+namespace fixture {
+
+struct Box {
+  std::atomic<int*> slot{nullptr};
+
+  void publish(int* p) {
+    // [publishes: FIX_GOOD]
+    slot.store(p, std::memory_order_release);
+  }
+
+  int* observe() {
+    // [acquires: FIX_GOOD]
+    return slot.load(std::memory_order_acquire);
+  }
+};
+
+}  // namespace fixture
