@@ -46,6 +46,17 @@ run_stage() {
   fi
   "${env_prefix[@]}" ctest --test-dir "$dir" -L fast --output-on-failure -j "$jobs"
   if [ "$stage" = plain ] || [ "$stage" = tsan ]; then
+    echo "=== [$stage] ctest -L bounded ==="
+    # Bounded-memory mode lin-check battery. The plain stage runs the full
+    # 8-seed x 1250-history sweep; tsan gets a shorter sweep per seed (the
+    # instrumented build is ~20x slower and the schedules it explores are
+    # already radically different).
+    local -a bounded_env=()
+    if [ "$stage" = tsan ]; then
+      bounded_env=(env CACHETRIE_BOUNDED_LIN_HISTORIES=150)
+    fi
+    "${env_prefix[@]}" "${bounded_env[@]}" \
+      ctest --test-dir "$dir" -L bounded --output-on-failure -j 1
     echo "=== [$stage] ctest -L fault ==="
     # Liveness windows: the watchdog asserts per-tick progress, so never
     # run fault tests in parallel with each other on a loaded box.
@@ -73,12 +84,23 @@ run_perf() {
   cmake -B "$dir" -S "$repo" -DCACHETRIE_BUILD_TESTS=OFF \
     -DCACHETRIE_BUILD_EXAMPLES=OFF -DCACHETRIE_BUILD_BENCH=ON \
     -DCACHETRIE_METRICS=ON >/dev/null
-  cmake --build "$dir" -j "$jobs" --target perf_smoke >/dev/null
+  cmake --build "$dir" -j "$jobs" --target perf_smoke \
+    --target fig14_bounded_churn >/dev/null
   echo "=== [perf] run perf_smoke ==="
   (cd "$dir" && ./bench/perf_smoke)
   echo "=== [perf] gate vs committed baseline ==="
   python3 "$repo/scripts/perf_gate.py" \
     "$repo/bench/BENCH_smoke.baseline.json" "$dir/BENCH_smoke.json" \
+    --tolerance 1.0 --min-ms 0.5 --noise-stddevs 3
+  # Bounded-mode churn/zipf canary: the binary itself hard-fails if the
+  # resident high-water mark escapes the byte ceiling (+ overshoot slack);
+  # the gate then watches the footprint/miss-rate/timing cells for drift.
+  echo "=== [perf] run fig14_bounded_churn ==="
+  (cd "$dir" && ./bench/fig14_bounded_churn)
+  echo "=== [perf] gate fig14 vs committed baseline ==="
+  python3 "$repo/scripts/perf_gate.py" \
+    "$repo/bench/BENCH_fig14_bounded_churn.baseline.json" \
+    "$dir/BENCH_fig14_bounded_churn.json" \
     --tolerance 1.0 --min-ms 0.5 --noise-stddevs 3
 }
 

@@ -8,7 +8,10 @@ For each file (a Chrome trace-event dump written by obs/trace_export.hpp):
 
   * header: reason, event count, how many events ever emitted and how many
     scrolled out of the rings before the drain (overwrite loss);
-  * per-event-name counts, sorted descending;
+  * per-event-name counts, sorted descending — names not in the known-event
+    table (mirroring obs/trace_events.hpp's kEventInfo) are flagged, so a
+    renamed or misspelled emitter shows up in the digest instead of silently
+    forking the event namespace;
   * inter-event gap statistics per event name (min/mean/max microseconds
     between consecutive occurrences on the global timeline) — a cheap way
     to spot "the epoch stopped flipping for 400 ms";
@@ -25,6 +28,43 @@ import json
 import sys
 
 SCHEMA = "cachetrie-trace-v1"
+
+# Every event name the flight recorder can emit — keep in lockstep with the
+# kEventInfo table in src/obs/trace_events.hpp (same order). An unknown name
+# in a dump means an emitter drifted from the table (or the dump predates a
+# rename); the digest prints a warning rather than failing, since old traces
+# remain worth reading.
+KNOWN_EVENTS = frozenset({
+    "cachetrie.freeze",
+    "cachetrie.expand",
+    "cachetrie.compress",
+    "cachetrie.txn_commit",
+    "cachetrie.cache.install",
+    "cachetrie.cache.level_change",
+    "cachetrie.evict",
+    "cachetrie.expire",
+    "cachetrie.ceiling_hit",
+    "ctrie.gcas",
+    "ctrie.gcas.retry",
+    "ctrie.entomb",
+    "ctrie.clean",
+    "ctrie.clean_parent",
+    "chm.bin_lock",
+    "chm.resize",
+    "chm.transfer.help",
+    "chm.transfer.bin",
+    "csl.mark_bottom",
+    "csl.help_mark",
+    "mr.epoch.flip",
+    "mr.epoch.fallback_scan",
+    "mr.epoch.stall_declare",
+    "mr.epoch.stalled_guard_exit",
+    "testkit.fault.park",
+    "testkit.fault.resume",
+    "testkit.fault.kill",
+    "testkit.watchdog.violation",
+    "testkit.lin_check.fail",
+})
 
 
 def load(path):
@@ -95,15 +135,22 @@ def summarize(path, top):
         by_name.setdefault(ev.get("name", "?"), []).append(ev.get("ts", 0))
 
     print("  event counts:")
+    unknown = []
     for name, stamps in sorted(by_name.items(),
                                key=lambda kv: (-len(kv[1]), kv[0])):
-        line = f"    {name:<34} {len(stamps):>7}"
+        tag = "" if name in KNOWN_EVENTS else " [?]"
+        line = f"    {name + tag:<34} {len(stamps):>7}"
         stats = gap_stats(stamps)
         if stats is not None:
             lo, mean, hi = stats
             line += (f"   gap us min/mean/max "
                      f"{lo:.1f}/{mean:.1f}/{hi:.1f}")
         print(line)
+        if name not in KNOWN_EVENTS:
+            unknown.append(name)
+    if unknown:
+        print(f"  WARNING: {len(unknown)} event name(s) not in the known "
+              f"table (trace_events.hpp drift?): {', '.join(sorted(unknown))}")
 
     spans, open_spans = collect_spans(events)
     if spans:

@@ -92,8 +92,12 @@ class CacheTrie {
   using CacheArray = detail::CacheArray;
 
  public:
-  explicit CacheTrie(Config config = {}) : config_(config) {
+  explicit CacheTrie(Config config = {})
+      : config_(config),
+        bounded_(config.ceiling_bytes != 0 || config.ttl_ticks != 0),
+        lru_window_(config.lru_idle_ticks == 0 ? 1 : config.lru_idle_ticks) {
     root_ = ANode::make(16);
+    account(static_cast<std::ptrdiff_t>(ANode::alloc_size(16)));
   }
 
   CacheTrie(const CacheTrie&) = delete;
@@ -106,6 +110,13 @@ class CacheTrie {
       CacheArray* parent = c->parent;
       CacheArray::destroy(c);
       c = parent;
+    }
+    // Whatever this trie still counted as resident leaves the process-wide
+    // gauge with it.
+    if (config_.resident_gauge != nullptr) {
+      config_.resident_gauge->fetch_sub(
+          resident_bytes_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
     }
   }
 
@@ -134,17 +145,21 @@ class CacheTrie {
   }
 
   /// Finds the value associated with the key. Wait-free.
+  /// Bounded mode: a hit refreshes the pair's stamp (relaxed store — the
+  /// stamp is advisory); a TTL-expired pair is reported absent without being
+  /// evicted here (lookups stay wait-free; writers do the lazy eviction).
   std::optional<V> lookup(const K& key) const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
     testkit::chaos_point("cachetrie.pinned");
     const std::uint64_t h = hasher_(key);
+    const Horizon hz = make_horizon();
     CacheArray* cache = config_.use_cache
                             ? cache_head_.load(std::memory_order_acquire)
                             : nullptr;
     if (cache == nullptr) {
       const bool sample_depth =
           (obs::sites::cachetrie_lookup_slow.add() & 63u) == 0u;
-      return lookup_rec(key, h, 0, root_, kNoCacheLevel, 0, sample_depth);
+      return lookup_rec(key, h, 0, root_, kNoCacheLevel, 0, sample_depth, hz);
     }
     const std::int32_t cache_level = static_cast<std::int32_t>(cache->level);
     // Fast path (paper Fig. 6): probe cache levels, deepest first.
@@ -165,7 +180,15 @@ class CacheTrie {
           if ((obs::sites::cachetrie_cache_hit.add() & 63u) == 0u) {
             obs::sites::cachetrie_lookup_depth.record(1);
           }
-          if (sn->hash == h && sn->key == key) return sn->value;
+          if (sn->hash == h && sn->key == key) {
+            if (bounded_) {
+              if (hz.expired(sn->stamp.load(std::memory_order_relaxed))) {
+                return std::nullopt;
+              }
+              sn->stamp.store(hz.now, std::memory_order_relaxed);
+            }
+            return sn->value;
+          }
           return std::nullopt;
         }
         continue;  // stale entry; try a shallower cache level
@@ -192,14 +215,14 @@ class CacheTrie {
         const bool sample_depth =
             (obs::sites::cachetrie_cache_hit.add() & 63u) == 0u;
         return lookup_rec(key, h, c->level, an, cache_level, c->level,
-                          sample_depth);
+                          sample_depth, hz);
       }
       // Anything else cached is stale; fall through to shallower levels.
     }
     {
       const bool sample_depth =
           (obs::sites::cachetrie_lookup_slow.add() & 63u) == 0u;
-      return lookup_rec(key, h, 0, root_, cache_level, 0, sample_depth);
+      return lookup_rec(key, h, 0, root_, cache_level, 0, sample_depth, hz);
     }
   }
 
@@ -237,22 +260,33 @@ class CacheTrie {
   // are not linearizable snapshots — the paper lists snapshots as future
   // work).
 
-  /// Number of keys (O(n) traversal).
+  /// Number of keys (O(n) traversal). Bounded mode: TTL-expired pairs are
+  /// unobservable, so they are not counted even while physically present.
   std::size_t size() const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
+    const Horizon hz = make_horizon();
     std::size_t n = 0;
-    auto count = [&](const K&, const V&) { ++n; };
+    auto count = [&](const K&, const V&, std::uint64_t st) {
+      if (bounded_ && hz.expired(st)) return;
+      ++n;
+    };
     for_each_node(root_, count);
     return n;
   }
 
   bool empty() const { return size() == 0; }
 
-  /// Applies fn(key, value) to every pair.
+  /// Applies fn(key, value) to every pair (bounded mode: to every live,
+  /// unexpired pair).
   template <typename F>
   void for_each(F&& fn) const {
     [[maybe_unused]] auto guard = Reclaimer::pin();
-    for_each_node(root_, fn);
+    const Horizon hz = make_horizon();
+    auto visit = [&](const K& k, const V& v, std::uint64_t st) {
+      if (bounded_ && hz.expired(st)) return;
+      fn(k, v);
+    };
+    for_each_node(root_, visit);
   }
 
   /// Bytes of heap owned by the trie: nodes, plus the cache arrays when the
@@ -285,6 +319,47 @@ class CacheTrie {
 
   const Config& config() const noexcept { return config_; }
   const Stats& stats() const noexcept { return stats_; }
+
+  // --- bounded-memory mode (DESIGN.md §3) -----------------------------------
+
+  /// True when this trie enforces a byte ceiling and/or TTL.
+  bool bounded() const noexcept { return bounded_; }
+
+  /// Current eviction-clock tick, without advancing the logical clock.
+  std::uint64_t now_tick() const noexcept {
+    if (!bounded_) return 0;
+    return config_.tick_fn != nullptr
+               ? config_.tick_fn()
+               : op_tick_.load(std::memory_order_relaxed);
+  }
+
+  /// Observed resident footprint: bytes published into the trie minus bytes
+  /// retired out of it — exact double-entry accounting at the protocol's
+  /// publish/retire choke points, excluding bytes parked in reclaimer limbo
+  /// (EpochDomain::retired_bytes() tracks those). Always 0 when unbounded.
+  std::size_t resident_bytes() const noexcept {
+    const std::int64_t b = resident_bytes_.load(std::memory_order_relaxed);
+    return b > 0 ? static_cast<std::size_t>(b) : 0;
+  }
+
+  struct EvictionCounts {
+    std::uint64_t lru_evictions = 0;
+    std::uint64_t ttl_expiries = 0;
+    std::uint64_t backpressure_scans = 0;
+  };
+
+  EvictionCounts eviction_counts() const noexcept {
+    return {lru_evictions_.load(std::memory_order_relaxed),
+            ttl_expiries_.load(std::memory_order_relaxed),
+            backpressure_scans_.load(std::memory_order_relaxed)};
+  }
+
+  /// Forcibly removes the pair through the eviction path. The removal is a
+  /// linearizable remove — same two-CAS protocol, same linearization point —
+  /// but its success is counted as an LRU eviction, not a user remove.
+  std::optional<V> evict(const K& key) {
+    return do_remove(key, nullptr, /*as_evict=*/true);
+  }
 
   /// Quiescent structural invariant check, used by the test suite. Returns
   /// human-readable descriptions of violations (empty = consistent).
@@ -325,6 +400,170 @@ class CacheTrie {
     }
   }
 
+  // --- bounded-memory mode machinery (DESIGN.md §3) -------------------------
+
+  /// Per-operation eviction horizons, computed once at each public entry
+  /// point and threaded through the descent. Inert (all zero) when the trie
+  /// is unbounded: no stamp is ever below a zero floor, so every check falls
+  /// through at the cost of one predictable compare.
+  struct Horizon {
+    std::uint64_t now = 0;        // current tick; doubles as creation stamp
+    std::uint64_t ttl_floor = 0;  // stamp < ttl_floor => semantically absent
+    std::uint64_t lru_floor = 0;  // stamp < lru_floor => evictable (pressure)
+
+    bool expired(std::uint64_t stamp) const noexcept {
+      return stamp < ttl_floor;
+    }
+    bool evictable(std::uint64_t stamp) const noexcept {
+      return stamp < ttl_floor || stamp < lru_floor;
+    }
+  };
+
+  /// Computes this operation's horizons, advancing the logical clock by one
+  /// tick — unless an injectable clock owns time (then tests drive it).
+  Horizon make_horizon() const {
+    Horizon hz;
+    if (!bounded_) return hz;
+    hz.now = config_.tick_fn != nullptr
+                 ? config_.tick_fn()
+                 : op_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (config_.ttl_ticks != 0 && hz.now > config_.ttl_ticks) {
+      hz.ttl_floor = hz.now - config_.ttl_ticks;
+    }
+    return hz;
+  }
+
+  /// Exact double-entry byte accounting: every publish-success adds the
+  /// bytes it made reachable, every retire subtracts exactly what it hands
+  /// the reclaimer. Like the stamp/tick/window words, this sum is advisory —
+  /// all accesses relaxed, no ordering contract (ordering_contracts.hpp
+  /// documents why).
+  void account(std::ptrdiff_t delta) const noexcept {
+    if (!bounded_) return;
+    resident_bytes_.fetch_add(delta, std::memory_order_relaxed);
+    if (config_.resident_gauge != nullptr) {
+      config_.resident_gauge->fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
+  void retire_snode(SNodeT* sn) const {
+    account(-static_cast<std::ptrdiff_t>(sizeof(SNodeT)));
+    Reclaimer::template retire<SNodeT>(sn);
+  }
+
+  void note_eviction(bool expiry, std::uint64_t h, std::uint32_t lev) const {
+    if (expiry) {
+      ttl_expiries_.fetch_add(1, std::memory_order_relaxed);
+      obs::sites::cachetrie_evict_ttl.add();
+      obs::trace::emit(obs::trace::EventId::kCachetrieExpire, h, lev);
+    } else {
+      lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+      obs::sites::cachetrie_evict_lru.add();
+      obs::trace::emit(obs::trace::EventId::kCachetrieEvict, h, lev);
+    }
+  }
+
+  /// Lazily evicts `osn` through its txn word — the identical announce/commit
+  /// pair the remove path uses, so an eviction linearizes exactly like a
+  /// remove of that key. Returns true iff this thread won the announcement
+  /// (and is therefore the unique retirer).
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
+  bool try_evict_snode(std::atomic<NodeBase*>& slot, SNodeT* osn, ANode* cur,
+                       ANode* prev, std::uint32_t lev, bool expiry) {
+    testkit::chaos_point("cachetrie.evict_announce");
+    NodeBase* etxn = Sentinels::no_txn();
+    // [publishes: CT_TXN]
+    if (!osn->txn.compare_exchange_strong(etxn, nullptr,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      return false;
+    }
+    testkit::chaos_point("cachetrie.evict_commit");
+    NodeBase* eo = osn;
+    slot.compare_exchange_strong(eo, nullptr, std::memory_order_acq_rel,
+                                 std::memory_order_acquire);
+    clear_cache_refs(osn, osn->hash, lev + 4);
+    retire_snode(osn);
+    note_eviction(expiry, osn->hash, lev);
+    maybe_compress(cur, prev, osn->hash, lev);
+    return true;
+  }
+
+  /// Ceiling enforcement. Every writer passes through here before doing its
+  /// own work, so enforcement survives any particular evictor dying: there
+  /// is no dedicated eviction thread to lose. Over the ceiling, the op runs
+  /// a bounded clock-hand scan against an adaptive idle window; the window
+  /// halves whenever a scan frees nothing and relaxes once pressure clears.
+  void maybe_backpressure(Horizon& hz) {
+    if (config_.ceiling_bytes == 0) return;
+    const std::size_t resident = resident_bytes();
+    const std::uint64_t w = lru_window_.load(std::memory_order_relaxed);
+    if (resident <= config_.ceiling_bytes) {
+      if (w < config_.lru_idle_ticks &&
+          resident <= config_.ceiling_bytes - config_.ceiling_bytes / 4) {
+        lru_window_.store(
+            std::min<std::uint64_t>(w * 2, config_.lru_idle_ticks),
+            std::memory_order_relaxed);
+      }
+      return;
+    }
+    backpressure_scans_.fetch_add(1, std::memory_order_relaxed);
+    obs::sites::cachetrie_evict_backpressure.add();
+    obs::trace::emit(obs::trace::EventId::kCachetrieCeilingHit, resident,
+                     config_.ceiling_bytes);
+    hz.lru_floor = hz.now > w ? hz.now - w : hz.now;
+    const std::size_t evicted = evict_scan(hz, config_.evict_probes);
+    if (evicted == 0 && w > 1) {
+      lru_window_.store(w / 2, std::memory_order_relaxed);
+    }
+  }
+
+  /// The lazy clock hand (after the fwoodruff Lock-Free-Cache design: no
+  /// doubly-linked list, no dedicated thread): descend a few pseudo-random
+  /// hash paths from a roving cursor and evict any live leaf whose stamp
+  /// fell past a horizon. Each probe is an O(1)-expected descent.
+  // [smr: caller-pinned] -- the guard is held by the public entry point.
+  std::size_t evict_scan(const Horizon& hz, std::uint32_t probes) {
+    testkit::chaos_point("cachetrie.evict_scan");
+    std::size_t evicted = 0;
+    for (std::uint32_t p = 0; p < probes; ++p) {
+      const std::uint64_t h =
+          util::mix64(evict_cursor_.fetch_add(1, std::memory_order_relaxed));
+      ANode* cur = root_;
+      ANode* prev = nullptr;
+      std::uint32_t lev = 0;
+      while (true) {
+        auto& slot = cur->slots()[slot_index(h, lev, cur->length)];
+        NodeBase* n = slot.load(std::memory_order_acquire);
+        if (n == nullptr || n == Sentinels::fv()) break;
+        if (n->kind == Kind::kANode) {
+          prev = cur;
+          cur = static_cast<ANode*>(n);
+          lev += 4;
+          continue;
+        }
+        if (n->kind == Kind::kSNode) {
+          auto* sn = static_cast<SNodeT*>(n);
+          if (sn->txn.load(std::memory_order_acquire) !=
+              Sentinels::no_txn()) {
+            break;
+          }
+          const std::uint64_t st = sn->stamp.load(std::memory_order_relaxed);
+          if (hz.evictable(st) &&
+              try_evict_snode(slot, sn, cur, prev, lev, hz.expired(st))) {
+            ++evicted;
+          }
+          break;
+        }
+        // Chains and in-flight announcements: skip this probe; chain
+        // corpses are pruned by the traversal rebuilds instead.
+        break;
+      }
+    }
+    return evicted;
+  }
+
   // --- write-path driver ---------------------------------------------------
 
   Res mutate(const K& key, const V& value, Mode mode,
@@ -333,15 +572,17 @@ class CacheTrie {
     // Fault site: a victim parked (or killed) here stalls inside a guard
     // with the epoch pinned — the worst case for epoch reclamation.
     testkit::chaos_point("cachetrie.pinned");
+    Horizon hz = make_horizon();
+    if (bounded_) maybe_backpressure(hz);  // may raise hz.lru_floor
     const std::uint64_t h = hasher_(key);
     if (auto start = cache_start(h); start.node != nullptr) {
       const Res r = insert_rec(key, value, h, start.level, start.node,
-                               nullptr, mode, expected);
+                               nullptr, mode, expected, hz);
       if (r != Res::kRestart) return note_mutate_result(r);
     }
     while (true) {
       const Res r =
-          insert_rec(key, value, h, 0, root_, nullptr, mode, expected);
+          insert_rec(key, value, h, 0, root_, nullptr, mode, expected, hz);
       if (r != Res::kRestart) return note_mutate_result(r);
       bump_stat(&Stats::root_restarts);
       obs::sites::cachetrie_root_restart.add();
@@ -396,7 +637,7 @@ class CacheTrie {
 
   Res insert_rec(const K& key, const V& value, std::uint64_t h,
                  std::uint32_t lev, ANode* cur, ANode* prev, Mode mode,
-                 const V* expected_value = nullptr) {
+                 const V* expected_value, const Horizon& hz) {
     while (true) {
       auto& slot = cur->slots()[slot_index(h, lev, cur->length)];
       // [acquires: CT_SLOT_COMMIT]
@@ -406,12 +647,13 @@ class CacheTrie {
         if (mode == Mode::kReplaceOnly || mode == Mode::kReplaceIfEquals) {
           return Res::kNotFound;
         }
-        SNodeT* sn = SNodeT::make(h, key, value);
+        SNodeT* sn = SNodeT::make(h, key, value, hz.now);
         NodeBase* expected = nullptr;
         // [publishes: CT_SLOT_COMMIT]
         if (slot.compare_exchange_strong(expected, sn,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
+          account(static_cast<std::ptrdiff_t>(sizeof(SNodeT)));
           maybe_inhabit(sn, h, lev + 4);
           return Res::kNew;
         }
@@ -425,19 +667,19 @@ class CacheTrie {
           auto* child = static_cast<ANode*>(old);
           maybe_inhabit(child, h, lev + 4);
           return insert_rec(key, value, h, lev + 4, child, cur, mode,
-                            expected_value);
+                            expected_value, hz);
         }
         case Kind::kSNode: {
-          const Res r =
-              insert_at_snode(key, value, h, lev, cur, prev, slot,
-                              static_cast<SNodeT*>(old), mode, expected_value);
+          const Res r = insert_at_snode(key, value, h, lev, cur, prev, slot,
+                                        static_cast<SNodeT*>(old), mode,
+                                        expected_value, hz);
           if (r != Res::kRetryLevel) return r;
           continue;
         }
         case Kind::kLNode: {
-          const Res r =
-              insert_at_lnode(key, value, h, lev, slot,
-                              static_cast<LNodeT*>(old), mode, expected_value);
+          const Res r = insert_at_lnode(key, value, h, lev, slot,
+                                        static_cast<LNodeT*>(old), mode,
+                                        expected_value, hz);
           if (r != Res::kRetryLevel) return r;
           continue;
         }
@@ -473,19 +715,41 @@ class CacheTrie {
   Res insert_at_snode(const K& key, const V& value, std::uint64_t h,
                       std::uint32_t lev, ANode* cur, ANode* prev,
                       std::atomic<NodeBase*>& slot, SNodeT* osn, Mode mode,
-                      const V* expected_value) {
+                      const V* expected_value, const Horizon& hz) {
     // [acquires: CT_TXN]
     NodeBase* txn = osn->txn.load(std::memory_order_acquire);
     if (txn == Sentinels::no_txn()) {
+      const std::uint64_t ostamp =
+          bounded_ ? osn->stamp.load(std::memory_order_relaxed) : 0;
       if (osn->hash == h && osn->key == key) {
+        // A TTL-expired pair is semantically absent (DESIGN.md §3): upsert
+        // and put_if_absent replace the corpse through the same txn path —
+        // the replacement doubles as the lazy eviction — while the replace
+        // modes evict it and report the key absent.
+        const bool corpse = hz.expired(ostamp);
+        if (corpse &&
+            (mode == Mode::kReplaceOnly || mode == Mode::kReplaceIfEquals)) {
+          try_evict_snode(slot, osn, cur, prev, lev, /*expiry=*/true);
+          return Res::kNotFound;
+        }
+        if (!corpse) {
+          if (mode == Mode::kIfAbsent) {
+            if (bounded_) {
+              osn->stamp.store(hz.now, std::memory_order_relaxed);
+            }
+            return Res::kExists;
+          }
+          if (mode == Mode::kReplaceIfEquals &&
+              !value_equals(osn->value, *expected_value)) {
+            if (bounded_) {
+              osn->stamp.store(hz.now, std::memory_order_relaxed);
+            }
+            return Res::kExists;
+          }
+        }
         // case (4): same key — two-CAS replacement. The txn CAS both
         // announces the change and invalidates any cache entry.
-        if (mode == Mode::kIfAbsent) return Res::kExists;
-        if (mode == Mode::kReplaceIfEquals &&
-            !value_equals(osn->value, *expected_value)) {
-          return Res::kExists;
-        }
-        SNodeT* sn = SNodeT::make(h, key, value);
+        SNodeT* sn = SNodeT::make(h, key, value, hz.now);
         testkit::chaos_point("cachetrie.txn_announce");
         NodeBase* expected = Sentinels::no_txn();
         // [publishes: CT_TXN]
@@ -503,11 +767,22 @@ class CacheTrie {
           // the announced txn), so osn is out either way; we won the txn and
           // are the unique retirer.
           clear_cache_refs(osn, h, lev + 4);
-          Reclaimer::template retire<SNodeT>(osn);
+          account(static_cast<std::ptrdiff_t>(sizeof(SNodeT)));
+          retire_snode(osn);
+          if (corpse) {
+            note_eviction(/*expiry=*/true, h, lev);
+            return Res::kNew;  // the replaced pair was semantically absent
+          }
           return Res::kReplaced;
         }
         delete sn;  // [delete: unpublished]
         obs::sites::cachetrie_txn_retry.add();
+        return Res::kRetryLevel;
+      }
+      // A stale colliding pair is lazily evicted instead of growing a
+      // subtree under a corpse; the caller re-reads the emptied slot.
+      if (bounded_ && hz.evictable(ostamp)) {
+        try_evict_snode(slot, osn, cur, prev, lev, hz.expired(ostamp));
         return Res::kRetryLevel;
       }
       if (mode == Mode::kReplaceOnly || mode == Mode::kReplaceIfEquals) {
@@ -524,12 +799,13 @@ class CacheTrie {
         if (prev->slots()[ppos].compare_exchange_strong(
                 expected, en, std::memory_order_acq_rel,
                 std::memory_order_acquire)) {
+          account(static_cast<std::ptrdiff_t>(sizeof(ENode)));
           complete_enode(en);
           // [acquires: CT_ENODE_RESULT]
           NodeBase* wide = en->result.load(std::memory_order_acquire);
           assert(wide != nullptr && wide->kind == Kind::kANode);
           return insert_rec(key, value, h, lev, static_cast<ANode*>(wide),
-                            prev, mode, expected_value);
+                            prev, mode, expected_value, hz);
         }
         delete en;  // [delete: unpublished]
         // Someone got to prev[ppos] first; help if it is an announcement.
@@ -543,7 +819,12 @@ class CacheTrie {
       // case (2): collision in a wide node — build a deeper subtree that
       // holds a fresh copy of osn's pair plus the new pair, and commit it
       // through osn's txn.
-      NodeBase* subtree = create_subtree(osn, h, key, value, lev + 4);
+      NodeBase* subtree = create_subtree(osn, h, key, value, lev + 4, hz.now);
+      // Footprint of the replacement, taken while it is still private; after
+      // the txn wins, helpers may commit it and make it concurrently mutable.
+      const std::ptrdiff_t sub_bytes =
+          bounded_ ? static_cast<std::ptrdiff_t>(subtree_footprint(subtree))
+                   : 0;
       testkit::chaos_point("cachetrie.txn_announce");
       NodeBase* expected = Sentinels::no_txn();
       if (osn->txn.compare_exchange_strong(expected, subtree,
@@ -555,7 +836,8 @@ class CacheTrie {
         slot.compare_exchange_strong(eo, subtree, std::memory_order_acq_rel,
                                      std::memory_order_acquire);
         clear_cache_refs(osn, h, lev + 4);
-        Reclaimer::template retire<SNodeT>(osn);
+        account(sub_bytes);
+        retire_snode(osn);
         return Res::kNew;
       }
       destroy_subtree_value(subtree);
@@ -578,20 +860,32 @@ class CacheTrie {
   // [smr: caller-pinned] -- the guard is held by the public entry point.
   Res insert_at_lnode(const K& key, const V& value, std::uint64_t h,
                       std::uint32_t lev, std::atomic<NodeBase*>& slot,
-                      LNodeT* chain, Mode mode, const V* expected_value) {
+                      LNodeT* chain, Mode mode, const V* expected_value,
+                      const Horizon& hz) {
     if (chain->hash != h) {
       // The new key only shares a prefix with the chain's hash: grow an
       // inner path below this slot that separates them. The existing chain
-      // is reused (it is immutable), so nothing is retired on success.
+      // is reused (it is immutable), so nothing is retired on success; any
+      // corpses it holds stay invisible until a same-hash rebuild drops them.
       if (mode == Mode::kReplaceOnly || mode == Mode::kReplaceIfEquals) {
         return Res::kNotFound;
       }
-      SNodeT* sn = SNodeT::make(h, key, value);
+      SNodeT* sn = SNodeT::make(h, key, value, hz.now);
       NodeBase* subtree = branch_apart(chain, chain->hash, sn, lev + 4);
+      std::ptrdiff_t delta = 0;
+      if (bounded_) {
+        // The reused chain is already accounted; only the fresh inner path
+        // and the new pair are new bytes.
+        delta = static_cast<std::ptrdiff_t>(subtree_footprint(subtree));
+        for (LNodeT* l = chain; l != nullptr; l = l->next) {
+          delta -= static_cast<std::ptrdiff_t>(sizeof(LNodeT));
+        }
+      }
       NodeBase* expected = chain;
       if (slot.compare_exchange_strong(expected, subtree,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
+        account(delta);
         return Res::kNew;
       }
       destroy_subtree_value_sparing(subtree, chain);
@@ -599,36 +893,73 @@ class CacheTrie {
       return Res::kRetryLevel;
     }
     // Same full hash: rebuild the chain with the pair added or replaced.
-    bool found = false;
+    // Bounded mode: TTL-expired pairs are semantically absent — invisible to
+    // the mode checks, and dropped (counted as expiries) by the rebuild.
+    bool found = false;       // a live pair for `key` exists
+    bool key_corpse = false;  // an expired pair for `key` exists
+    std::size_t live_others = 0;
+    std::size_t expired_others = 0;
     for (LNodeT* l = chain; l != nullptr; l = l->next) {
+      const bool expired = bounded_ && hz.expired(l->stamp);
       if (l->key == key) {
+        if (expired) {
+          key_corpse = true;
+          continue;
+        }
         found = true;
         if (mode == Mode::kReplaceIfEquals &&
             !value_equals(l->value, *expected_value)) {
           return Res::kExists;
         }
-        break;
+      } else if (expired) {
+        ++expired_others;
+      } else {
+        ++live_others;
       }
     }
     if (found && mode == Mode::kIfAbsent) return Res::kExists;
     if (!found && (mode == Mode::kReplaceOnly ||
                    mode == Mode::kReplaceIfEquals)) {
+      // A corpse for `key` (if any) stays until a mutating walk rebuilds the
+      // chain; it is already unobservable, so reporting absent is correct.
       return Res::kNotFound;
     }
+    // Rebuild without `key`'s old pair and without corpses. A chain that
+    // would hold a single pair collapses back to an SNode (chain invariant:
+    // >= 2 pairs).
+    NodeBase* replacement = nullptr;
     LNodeT* fresh = nullptr;
-    for (LNodeT* l = chain; l != nullptr; l = l->next) {
-      if (l->key == key) continue;
-      fresh = LNodeT::make(l->hash, l->key, l->value, fresh);
+    if (live_others == 0) {
+      replacement = SNodeT::make(h, key, value, hz.now);
+    } else {
+      for (LNodeT* l = chain; l != nullptr; l = l->next) {
+        if (l->key == key || (bounded_ && hz.expired(l->stamp))) continue;
+        fresh = LNodeT::make(l->hash, l->key, l->value, fresh, l->stamp);
+      }
+      fresh = LNodeT::make(h, key, value, fresh, hz.now);
+      replacement = fresh;
     }
-    fresh = LNodeT::make(h, key, value, fresh);
     NodeBase* expected = chain;
-    if (slot.compare_exchange_strong(expected, fresh,
+    if (slot.compare_exchange_strong(expected, replacement,
                                      std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
+      account(static_cast<std::ptrdiff_t>(
+          live_others == 0 ? sizeof(SNodeT)
+                           : (live_others + 1) * sizeof(LNodeT)));
+      for (std::size_t i = 0; i < expired_others; ++i) {
+        note_eviction(/*expiry=*/true, h, lev);
+      }
+      // The old pair for `key`, when expired, is evicted-by-replacement just
+      // like the SNode corpse path: count it and report the key as new.
+      if (key_corpse) note_eviction(/*expiry=*/true, h, lev);
       retire_chain(chain);
       return found ? Res::kReplaced : Res::kNew;
     }
-    destroy_chain(fresh);
+    if (live_others == 0) {
+      delete static_cast<SNodeT*>(replacement);  // [delete: unpublished]
+    } else {
+      destroy_chain(fresh);
+    }
     obs::sites::cachetrie_txn_retry.add();
     return Res::kRetryLevel;
   }
@@ -638,8 +969,8 @@ class CacheTrie {
   std::optional<V> lookup_rec(const K& key, std::uint64_t h,
                               std::uint32_t lev, const ANode* cur,
                               std::int32_t cache_level,
-                              std::uint32_t start_lev,
-                              bool sample_depth) const {
+                              std::uint32_t start_lev, bool sample_depth,
+                              const Horizon& hz) const {
     // Fig. 6 line 3: passing the cache level on the way down lets the slow
     // path repopulate the cache.
     if (static_cast<std::int32_t>(lev) == cache_level) {
@@ -651,11 +982,19 @@ class CacheTrie {
     switch (old->kind) {
       case Kind::kANode:
         return lookup_rec(key, h, lev + 4, static_cast<const ANode*>(old),
-                          cache_level, start_lev, sample_depth);
+                          cache_level, start_lev, sample_depth, hz);
       case Kind::kSNode: {
         auto* sn = static_cast<SNodeT*>(old);
         note_leaf_level(sn, lev + 4, cache_level, start_lev, sample_depth);
-        if (sn->hash == h && sn->key == key) return sn->value;
+        if (sn->hash == h && sn->key == key) {
+          if (bounded_) {
+            if (hz.expired(sn->stamp.load(std::memory_order_relaxed))) {
+              return std::nullopt;  // corpse: unobservable, evicted lazily
+            }
+            sn->stamp.store(hz.now, std::memory_order_relaxed);
+          }
+          return sn->value;
+        }
         return std::nullopt;
       }
       case Kind::kLNode: {
@@ -663,7 +1002,10 @@ class CacheTrie {
                         sample_depth);
         for (const LNodeT* l = static_cast<const LNodeT*>(old); l != nullptr;
              l = l->next) {
-          if (l->hash == h && l->key == key) return l->value;
+          if (l->hash == h && l->key == key) {
+            if (bounded_ && hz.expired(l->stamp)) return std::nullopt;
+            return l->value;
+          }
         }
         return std::nullopt;
       }
@@ -672,18 +1014,21 @@ class CacheTrie {
         // still-intact target (linearizes before the replacement commits).
         auto* en = static_cast<ENode*>(old);
         return lookup_rec(key, h, lev + 4, en->target, cache_level,
-                          start_lev, sample_depth);
+                          start_lev, sample_depth, hz);
       }
       case Kind::kFNode: {
         NodeBase* frozen = static_cast<FNode*>(old)->frozen;
         if (frozen->kind == Kind::kANode) {
           return lookup_rec(key, h, lev + 4,
                             static_cast<const ANode*>(frozen), cache_level,
-                            start_lev, sample_depth);
+                            start_lev, sample_depth, hz);
         }
         for (const LNodeT* l = static_cast<const LNodeT*>(frozen);
              l != nullptr; l = l->next) {
-          if (l->hash == h && l->key == key) return l->value;
+          if (l->hash == h && l->key == key) {
+            if (bounded_ && hz.expired(l->stamp)) return std::nullopt;
+            return l->value;
+          }
         }
         return std::nullopt;
       }
@@ -736,23 +1081,39 @@ class CacheTrie {
 
   // --- remove (paper §3.7) ---------------------------------------------------
 
-  std::optional<V> do_remove(const K& key, const V* expected) {
+  /// `as_evict` routes the success to the eviction counters (the removal is
+  /// the same linearizable protocol either way); used by evict().
+  std::optional<V> do_remove(const K& key, const V* expected,
+                             bool as_evict = false) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
     testkit::chaos_point("cachetrie.pinned");
     const std::uint64_t h = hasher_(key);
+    const Horizon hz = make_horizon();
     std::optional<V> out;
     if (auto start = cache_start(h); start.node != nullptr) {
-      const Res r =
-          remove_rec(key, h, start.level, start.node, nullptr, &out, expected);
+      const Res r = remove_rec(key, h, start.level, start.node, nullptr, &out,
+                               expected, hz);
       if (r != Res::kRestart) {
-        if (r == Res::kRemoved) obs::sites::cachetrie_remove.add();
+        if (r == Res::kRemoved) {
+          if (as_evict) {
+            note_eviction(/*expiry=*/false, h, 0);
+          } else {
+            obs::sites::cachetrie_remove.add();
+          }
+        }
         return r == Res::kRemoved ? std::move(out) : std::nullopt;
       }
     }
     while (true) {
-      const Res r = remove_rec(key, h, 0, root_, nullptr, &out, expected);
+      const Res r = remove_rec(key, h, 0, root_, nullptr, &out, expected, hz);
       if (r != Res::kRestart) {
-        if (r == Res::kRemoved) obs::sites::cachetrie_remove.add();
+        if (r == Res::kRemoved) {
+          if (as_evict) {
+            note_eviction(/*expiry=*/false, h, 0);
+          } else {
+            obs::sites::cachetrie_remove.add();
+          }
+        }
         return r == Res::kRemoved ? std::move(out) : std::nullopt;
       }
       bump_stat(&Stats::root_restarts);
@@ -762,8 +1123,8 @@ class CacheTrie {
 
   // [smr: caller-pinned] -- the guard is held by the public entry point.
   Res remove_rec(const K& key, std::uint64_t h, std::uint32_t lev, ANode* cur,
-                 ANode* prev, std::optional<V>* out,
-                 const V* expected = nullptr) {
+                 ANode* prev, std::optional<V>* out, const V* expected,
+                 const Horizon& hz) {
     while (true) {
       auto& slot = cur->slots()[slot_index(h, lev, cur->length)];
       NodeBase* old = slot.load(std::memory_order_acquire);
@@ -772,12 +1133,28 @@ class CacheTrie {
       switch (old->kind) {
         case Kind::kANode:
           return remove_rec(key, h, lev + 4, static_cast<ANode*>(old), cur,
-                            out, expected);
+                            out, expected, hz);
         case Kind::kSNode: {
           auto* osn = static_cast<SNodeT*>(old);
           NodeBase* txn = osn->txn.load(std::memory_order_acquire);
           if (txn == Sentinels::no_txn()) {
-            if (osn->hash != h || !(osn->key == key)) return Res::kNotFound;
+            const std::uint64_t ostamp =
+                bounded_ ? osn->stamp.load(std::memory_order_relaxed) : 0;
+            if (osn->hash != h || !(osn->key == key)) {
+              // Hygiene: a stale pair crossing a remover's path is evicted
+              // even though it is not the remover's key.
+              if (bounded_ && hz.evictable(ostamp)) {
+                try_evict_snode(slot, osn, cur, prev, lev,
+                                hz.expired(ostamp));
+              }
+              return Res::kNotFound;
+            }
+            if (bounded_ && hz.expired(ostamp)) {
+              // The target itself is a corpse: semantically absent — evict
+              // it and report NotFound (even for a plain remove).
+              try_evict_snode(slot, osn, cur, prev, lev, /*expiry=*/true);
+              return Res::kNotFound;
+            }
             if (expected != nullptr && !value_equals(osn->value, *expected)) {
               return Res::kNotFound;
             }
@@ -797,7 +1174,7 @@ class CacheTrie {
                                            std::memory_order_acquire);
               *out = osn->value;
               clear_cache_refs(osn, h, lev + 4);
-              Reclaimer::template retire<SNodeT>(osn);
+              retire_snode(osn);
               maybe_compress(cur, prev, h, lev);
               return Res::kRemoved;
             }
@@ -817,32 +1194,45 @@ class CacheTrie {
           auto* chain = static_cast<LNodeT*>(old);
           if (chain->hash != h) return Res::kNotFound;
           bool found = false;
-          std::size_t remaining = 0;
+          std::size_t live_others = 0;
+          std::size_t expired_others = 0;
           for (LNodeT* l = chain; l != nullptr; l = l->next) {
+            const bool is_expired = bounded_ && hz.expired(l->stamp);
             if (l->key == key) {
+              // A corpse is semantically absent: nothing to remove. It stays
+              // until a mutating rebuild of this chain drops it.
+              if (is_expired) return Res::kNotFound;
               if (expected != nullptr && !value_equals(l->value, *expected)) {
                 return Res::kNotFound;
               }
               found = true;
               *out = l->value;
+            } else if (is_expired) {
+              ++expired_others;
             } else {
-              ++remaining;
+              ++live_others;
             }
           }
           if (!found) return Res::kNotFound;
+          // Rebuild without the target and without corpses. Chains never
+          // hold < 2 pairs: one live survivor collapses to an SNode, zero
+          // (all others expired) empties the slot outright.
           NodeBase* replacement = nullptr;
-          if (remaining == 1) {
-            // Chains never shrink below two pairs: collapse to an SNode.
+          if (live_others == 1) {
             for (LNodeT* l = chain; l != nullptr; l = l->next) {
-              if (!(l->key == key)) {
-                replacement = SNodeT::make(l->hash, l->key, l->value);
+              if (!(l->key == key) && !(bounded_ && hz.expired(l->stamp))) {
+                replacement =
+                    SNodeT::make(l->hash, l->key, l->value, l->stamp);
               }
             }
-          } else {
+          } else if (live_others > 1) {
             LNodeT* fresh = nullptr;
             for (LNodeT* l = chain; l != nullptr; l = l->next) {
-              if (l->key == key) continue;
-              fresh = LNodeT::make(l->hash, l->key, l->value, fresh);
+              if (l->key == key || (bounded_ && hz.expired(l->stamp))) {
+                continue;
+              }
+              fresh =
+                  LNodeT::make(l->hash, l->key, l->value, fresh, l->stamp);
             }
             replacement = fresh;
           }
@@ -850,10 +1240,20 @@ class CacheTrie {
           if (slot.compare_exchange_strong(echain, replacement,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
+            if (live_others == 1) {
+              account(static_cast<std::ptrdiff_t>(sizeof(SNodeT)));
+            } else if (live_others > 1) {
+              account(static_cast<std::ptrdiff_t>(live_others *
+                                                  sizeof(LNodeT)));
+            }
+            for (std::size_t i = 0; i < expired_others; ++i) {
+              note_eviction(/*expiry=*/true, h, lev);
+            }
             retire_chain(chain);
+            if (replacement == nullptr) maybe_compress(cur, prev, h, lev);
             return Res::kRemoved;
           }
-          destroy_subtree_value(replacement);
+          if (replacement != nullptr) destroy_subtree_value(replacement);
           out->reset();
           obs::sites::cachetrie_txn_retry.add();
           continue;
@@ -899,6 +1299,7 @@ class CacheTrie {
     if (prev->slots()[en->parentpos].compare_exchange_strong(
             expected, en, std::memory_order_acq_rel,
             std::memory_order_acquire)) {
+      account(static_cast<std::ptrdiff_t>(sizeof(ENode)));
       complete_enode(en);
     } else {
       delete en;  // [delete: unpublished]
@@ -966,9 +1367,11 @@ class CacheTrie {
         case Kind::kLNode: {
           FNode* fn = FNode::make(node);
           NodeBase* expected = node;
-          if (!slot.compare_exchange_strong(expected, fn,
-                                            std::memory_order_acq_rel,
-                                            std::memory_order_acquire)) {
+          if (slot.compare_exchange_strong(expected, fn,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+            account(static_cast<std::ptrdiff_t>(sizeof(FNode)));
+          } else {
             delete fn;  // [delete: unpublished]
           }
           continue;  // revisit: the kFNode case below recurses
@@ -1017,11 +1420,19 @@ class CacheTrie {
       destroy_subtree_value(replacement);  // lost the build race
     }
     NodeBase* committed = en->result.load(std::memory_order_acquire);
+    // Footprint of the committed replacement, taken before the parent-slot
+    // CAS: until the unique winner of that CAS publishes it, the subtree is
+    // unreachable for mutation (helpers only return from here after the
+    // winner's CAS), so the walk is exact.
+    const std::ptrdiff_t committed_bytes =
+        bounded_ ? static_cast<std::ptrdiff_t>(subtree_footprint(committed))
+                 : 0;
     testkit::chaos_point("cachetrie.enode_commit");
     NodeBase* expected_en = en;
     if (en->parent->slots()[en->parentpos].compare_exchange_strong(
             expected_en, committed, std::memory_order_acq_rel,
             std::memory_order_acquire)) {
+      account(committed_bytes - static_cast<std::ptrdiff_t>(sizeof(ENode)));
       if (committed != nullptr && committed->kind == Kind::kANode) {
         maybe_inhabit(committed, en->hash, en->level);
       }
@@ -1055,7 +1466,9 @@ class CacheTrie {
       auto* sn = static_cast<SNodeT*>(node);
       auto& dst = wide->slots()[slot_index(sn->hash, lev, wide->length)];
       assert(dst.load(std::memory_order_relaxed) == nullptr);
-      dst.store(SNodeT::make(sn->hash, sn->key, sn->value),
+      // The copy carries the source stamp: it is the same logical entry.
+      dst.store(SNodeT::make(sn->hash, sn->key, sn->value,
+                             sn->stamp.load(std::memory_order_relaxed)),
                 std::memory_order_relaxed);
     }
   }
@@ -1076,7 +1489,8 @@ class CacheTrie {
       NodeBase* copy = nullptr;
       if (node->kind == Kind::kSNode) {
         auto* sn = static_cast<SNodeT*>(node);
-        copy = SNodeT::make(sn->hash, sn->key, sn->value);
+        copy = SNodeT::make(sn->hash, sn->key, sn->value,
+                            sn->stamp.load(std::memory_order_relaxed));
       } else if (node->kind == Kind::kFNode) {
         NodeBase* wrapped = static_cast<FNode*>(node)->frozen;
         if (wrapped->kind == Kind::kANode) {
@@ -1109,7 +1523,7 @@ class CacheTrie {
   LNodeT* copy_chain(LNodeT* chain) {
     LNodeT* fresh = nullptr;
     for (LNodeT* l = chain; l != nullptr; l = l->next) {
-      fresh = LNodeT::make(l->hash, l->key, l->value, fresh);
+      fresh = LNodeT::make(l->hash, l->key, l->value, fresh, l->stamp);
     }
     return fresh;
   }
@@ -1121,13 +1535,16 @@ class CacheTrie {
   /// the new pair, pushed as many levels down as their hashes stay equal.
   /// Equal full hashes produce an LNode chain.
   NodeBase* create_subtree(SNodeT* osn, std::uint64_t h, const K& key,
-                           const V& value, std::uint32_t lev) {
+                           const V& value, std::uint32_t lev,
+                           std::uint64_t new_stamp) {
+    const std::uint64_t ostamp = osn->stamp.load(std::memory_order_relaxed);
     if (osn->hash == h) {
-      LNodeT* chain = LNodeT::make(osn->hash, osn->key, osn->value, nullptr);
-      return LNodeT::make(h, key, value, chain);
+      LNodeT* chain =
+          LNodeT::make(osn->hash, osn->key, osn->value, nullptr, ostamp);
+      return LNodeT::make(h, key, value, chain, new_stamp);
     }
-    SNodeT* copy = SNodeT::make(osn->hash, osn->key, osn->value);
-    SNodeT* fresh = SNodeT::make(h, key, value);
+    SNodeT* copy = SNodeT::make(osn->hash, osn->key, osn->value, ostamp);
+    SNodeT* fresh = SNodeT::make(h, key, value, new_stamp);
     return branch_apart(copy, copy->hash, fresh, lev);
   }
 
@@ -1218,6 +1635,7 @@ class CacheTrie {
   void retire_chain(LNodeT* chain) {
     while (chain != nullptr) {
       LNodeT* next = chain->next;
+      account(-static_cast<std::ptrdiff_t>(sizeof(LNodeT)));
       Reclaimer::template retire<LNodeT>(chain);
       chain = next;
     }
@@ -1238,7 +1656,7 @@ class CacheTrie {
       if (node->kind == Kind::kSNode) {
         auto* sn = static_cast<SNodeT*>(node);
         clear_cache_refs(sn, sn->hash, level + 4);
-        Reclaimer::template retire<SNodeT>(sn);
+        retire_snode(sn);
       } else if (node->kind == Kind::kFNode) {
         auto* fn = static_cast<FNode*>(node);
         if (fn->frozen->kind == Kind::kANode) {
@@ -1252,12 +1670,14 @@ class CacheTrie {
         } else {
           retire_chain(static_cast<LNodeT*>(fn->frozen));
         }
+        account(-static_cast<std::ptrdiff_t>(sizeof(FNode)));
         Reclaimer::template retire<FNode>(fn);
       } else {
         assert(false && "unexpected node kind in frozen subtree");
       }
     }
     clear_cache_refs(frozen, prefix, level);
+    account(-static_cast<std::ptrdiff_t>(ANode::alloc_size(frozen->length)));
     Reclaimer::retire_raw_sized(frozen, &mr::free_raw_storage,
                                 ANode::alloc_size(frozen->length));
   }
@@ -1321,6 +1741,7 @@ class CacheTrie {
       if (cache_head_.compare_exchange_strong(expected, fresh,
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
+        account(static_cast<std::ptrdiff_t>(fresh->footprint_bytes()));
         bump_stat(&Stats::cache_installs);
         obs::sites::cachetrie_cache_install.add();
         obs::trace::emit(obs::trace::EventId::kCachetrieCacheInstall,
@@ -1504,6 +1925,7 @@ class CacheTrie {
       if (cache_head_.compare_exchange_strong(expected, fresh,
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
+        account(static_cast<std::ptrdiff_t>(fresh->footprint_bytes()));
         bump_stat(&Stats::cache_level_changes);
         obs::sites::cachetrie_cache_level_change.add();
         obs::trace::emit(obs::trace::EventId::kCachetrieCacheLevelChange,
@@ -1523,6 +1945,9 @@ class CacheTrie {
     if (cache_head_.compare_exchange_strong(expected, fresh,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
+      if (fresh != anc) {
+        account(static_cast<std::ptrdiff_t>(fresh->footprint_bytes()));
+      }
       bump_stat(&Stats::cache_level_changes);
       obs::sites::cachetrie_cache_level_change.add();
       obs::trace::emit(obs::trace::EventId::kCachetrieCacheLevelChange,
@@ -1531,6 +1956,7 @@ class CacheTrie {
       // still be walking it.
       for (CacheArray* c = head; c != anc;) {
         CacheArray* parent = c->parent;
+        account(-static_cast<std::ptrdiff_t>(c->footprint_bytes()));
         Reclaimer::retire_raw_sized(c, &CacheArray::destroy_erased,
                                     c->footprint_bytes());
         c = parent;
@@ -1542,20 +1968,21 @@ class CacheTrie {
 
   // --- traversals --------------------------------------------------------------
 
-  /// Invokes fn(key, value) for every pair in the subtree.
+  /// Invokes fn(key, value, stamp) for every pair in the subtree (the public
+  /// wrappers adapt the arity and filter corpses in bounded mode).
   template <typename F>
   void for_each_node(const NodeBase* node, F& fn) const {
     if (node == nullptr || node == Sentinels::fv()) return;
     switch (node->kind) {
       case Kind::kSNode: {
         auto* sn = static_cast<const SNodeT*>(node);
-        fn(sn->key, sn->value);
+        fn(sn->key, sn->value, sn->stamp.load(std::memory_order_relaxed));
         return;
       }
       case Kind::kLNode:
         for (const LNodeT* l = static_cast<const LNodeT*>(node); l != nullptr;
              l = l->next) {
-          fn(l->key, l->value);
+          fn(l->key, l->value, l->stamp);
         }
         return;
       case Kind::kANode: {
@@ -1718,6 +2145,21 @@ class CacheTrie {
   ANode* root_;
   mutable std::atomic<CacheArray*> cache_head_{nullptr};
   mutable Stats stats_;
+
+  // --- bounded-memory mode state (DESIGN.md §3). All words are advisory:
+  // every access is relaxed, and no protocol decision builds a
+  // happens-before edge through them.
+  bool bounded_ = false;
+  /// Logical eviction clock (one tick per op) when no injectable clock is
+  /// configured. Mutable: lookups refresh stamps and advance the clock.
+  mutable std::atomic<std::uint64_t> op_tick_{0};
+  /// Signed so transient publish/retire interleavings can dip below zero.
+  mutable std::atomic<std::int64_t> resident_bytes_{0};
+  std::atomic<std::uint64_t> evict_cursor_{0};
+  std::atomic<std::uint64_t> lru_window_{1};
+  mutable std::atomic<std::uint64_t> lru_evictions_{0};
+  mutable std::atomic<std::uint64_t> ttl_expiries_{0};
+  mutable std::atomic<std::uint64_t> backpressure_scans_{0};
 };
 
 }  // namespace cachetrie

@@ -141,16 +141,26 @@ struct ENode : NodeBase {
 ///   nullptr  — removal announced; helpers commit null into the parent slot
 ///   other    — replacement node announced (SNode, ANode or LNode); helpers
 ///              commit it into the parent slot
+///
+/// `stamp` is the bounded-memory mode's last-use tick (DESIGN.md §3): set at
+/// creation, refreshed with a relaxed store on every hit, read with a relaxed
+/// load by eviction horizons. It is advisory — no protocol decision creates a
+/// happens-before edge through it, so all its accesses stay relaxed. Unbounded
+/// tries leave it 0. Copies made by the freeze/expand protocol carry the
+/// source stamp so the copy remains the same logical entry.
 template <typename K, typename V>
 struct SNode : NodeBase {
   std::uint64_t hash;
   K key;
   V value;
   std::atomic<NodeBase*> txn;
+  std::atomic<std::uint64_t> stamp;
 
-  static SNode* make(std::uint64_t hash, const K& key, const V& value) {
-    auto* s = new SNode{{Kind::kSNode}, hash, key, value, {}};
+  static SNode* make(std::uint64_t hash, const K& key, const V& value,
+                     std::uint64_t stamp = 0) {
+    auto* s = new SNode{{Kind::kSNode}, hash, key, value, {}, {}};
     s->txn.store(Sentinels::no_txn(), std::memory_order_relaxed);
+    s->stamp.store(stamp, std::memory_order_relaxed);
     return s;
   }
 };
@@ -160,16 +170,22 @@ struct SNode : NodeBase {
 /// fresh chain and swaps it in with one CAS on the parent slot, so LNodes
 /// need no txn field. Chains always hold >= 2 pairs (a 1-pair chain is
 /// collapsed back into an SNode).
+/// `stamp` is the pair's creation (or last rebuild) tick for the bounded
+/// mode's TTL horizon. Chains are immutable, so chain hits do not refresh it —
+/// a documented approximation: full-hash collisions are vanishingly rare
+/// under the universal hash, and a rebuild re-stamps the surviving pairs'
+/// creation stamps unchanged.
 template <typename K, typename V>
 struct LNode : NodeBase {
   std::uint64_t hash;
   LNode* next;
   K key;
   V value;
+  std::uint64_t stamp;
 
   static LNode* make(std::uint64_t hash, const K& key, const V& value,
-                     LNode* next) {
-    return new LNode{{Kind::kLNode}, hash, next, key, value};
+                     LNode* next, std::uint64_t stamp = 0) {
+    return new LNode{{Kind::kLNode}, hash, next, key, value, stamp};
   }
 };
 

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <concepts>
 #include <cstdint>
 #include <memory>
 #include <new>
@@ -56,10 +57,16 @@ class ConcurrentHashMap {
     K key;
     V value;
     std::atomic<Node*> next;
+    /// Last-use tick for the bounded-memory wrapper (evict.hpp); advisory,
+    /// all accesses relaxed, 0 when the map is used unbounded. Transfer
+    /// clones carry the source stamp (same logical entry).
+    std::atomic<std::uint64_t> stamp;
 
-    static Node* make(std::uint64_t h, const K& k, const V& v, Node* nxt) {
-      auto* n = new Node{h, k, v, {}};
+    static Node* make(std::uint64_t h, const K& k, const V& v, Node* nxt,
+                      std::uint64_t stamp = 0) {
+      auto* n = new Node{h, k, v, {}, {}};
       n->next.store(nxt, std::memory_order_relaxed);
+      n->stamp.store(stamp, std::memory_order_relaxed);
       return n;
     }
   };
@@ -147,13 +154,14 @@ class ConcurrentHashMap {
     Table::destroy(t);
   }
 
-  /// Inserts or replaces; true iff the key was new.
-  bool insert(const K& key, const V& value) {
-    return do_insert(key, value, /*only_if_absent=*/false);
+  /// Inserts or replaces; true iff the key was new. `stamp` seeds the new
+  /// node's last-use tick (bounded wrapper only; 0 otherwise).
+  bool insert(const K& key, const V& value, std::uint64_t stamp = 0) {
+    return do_insert(key, value, /*only_if_absent=*/false, stamp);
   }
 
-  bool put_if_absent(const K& key, const V& value) {
-    return do_insert(key, value, /*only_if_absent=*/true);
+  bool put_if_absent(const K& key, const V& value, std::uint64_t stamp = 0) {
+    return do_insert(key, value, /*only_if_absent=*/true, stamp);
   }
 
   std::optional<V> lookup(const K& key) const {
@@ -178,6 +186,165 @@ class ConcurrentHashMap {
   }
 
   bool contains(const K& key) const { return lookup(key).has_value(); }
+
+  /// Bounded-wrapper lookup: a hit whose stamp is older than `ttl_floor` is
+  /// reported absent (the corpse stays until an eviction pass unlinks it);
+  /// a live hit refreshes the stamp to `now`. Wait-free, like lookup().
+  std::optional<V> lookup_refresh(const K& key, std::uint64_t now,
+                                  std::uint64_t ttl_floor) const {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("chm.pinned");
+    const std::uint64_t h = adjust_hash(hasher_(key));
+    // [acquires: CHM_TABLE_PUBLISH]
+    Table* t = table_.load(std::memory_order_acquire);
+    while (true) {
+      // [acquires: CHM_BIN_LINK]
+      Node* n = t->bins()[h & (t->nbins - 1)].load(std::memory_order_acquire);
+      while (n != nullptr) {
+        if (n->hash == kForwardHash) {
+          t = reinterpret_cast<ForwardNode*>(n)->fwd;
+          break;  // retry in the next table
+        }
+        if (n->hash == h && n->key == key) {
+          if (n->stamp.load(std::memory_order_relaxed) < ttl_floor) {
+            return std::nullopt;
+          }
+          n->stamp.store(now, std::memory_order_relaxed);
+          return n->value;
+        }
+        n = n->next.load(std::memory_order_acquire);
+      }
+      if (n == nullptr) return std::nullopt;
+    }
+  }
+
+  /// JDK's 2-argument remove: unlink only while the value equals `expected`.
+  /// The bin lock pins the value for the compare (values are inline and
+  /// replaced by node swap, so the node seen under the lock cannot change).
+  bool remove_if_equals(const K& key, const V& expected)
+    requires std::equality_comparable<V>
+  {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("chm.pinned");
+    const std::uint64_t h = adjust_hash(hasher_(key));
+    while (true) {
+      Table* t = current_table();
+      const std::size_t bi = h & (t->nbins - 1);
+      Node* head = t->bins()[bi].load(std::memory_order_acquire);
+      if (head == nullptr) return false;
+      if (head->hash == kForwardHash) {
+        help_transfer(t);
+        continue;
+      }
+      BinLock lock{t, bi};
+      head = t->bins()[bi].load(std::memory_order_acquire);
+      if (head != nullptr && head->hash == kForwardHash) continue;
+      Node* prev = nullptr;
+      for (Node* n = head; n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        if (n->hash == h && n->key == key) {
+          if (!(n->value == expected)) return false;
+          Node* nx = n->next.load(std::memory_order_relaxed);
+          if (prev == nullptr) {
+            t->bins()[bi].store(nx, std::memory_order_release);
+          } else {
+            prev->next.store(nx, std::memory_order_release);
+          }
+          Reclaimer::template retire<Node>(n);
+          add_count(-1);
+          return true;
+        }
+        prev = n;
+      }
+      return false;
+    }
+  }
+
+  /// Bounded-wrapper TTL unlink: removes the key's node only if its stamp
+  /// is older than `floor` (the lazy eviction of an expired entry observed
+  /// by a traversal). Returns true iff it unlinked.
+  bool remove_if_stale(const K& key, std::uint64_t floor) {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("chm.pinned");
+    const std::uint64_t h = adjust_hash(hasher_(key));
+    while (true) {
+      Table* t = current_table();
+      const std::size_t bi = h & (t->nbins - 1);
+      Node* head = t->bins()[bi].load(std::memory_order_acquire);
+      if (head == nullptr) return false;
+      if (head->hash == kForwardHash) {
+        help_transfer(t);
+        continue;
+      }
+      BinLock lock{t, bi};
+      head = t->bins()[bi].load(std::memory_order_acquire);
+      if (head != nullptr && head->hash == kForwardHash) continue;
+      Node* prev = nullptr;
+      for (Node* n = head; n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        if (n->hash == h && n->key == key) {
+          if (n->stamp.load(std::memory_order_relaxed) >= floor) return false;
+          Node* nx = n->next.load(std::memory_order_relaxed);
+          if (prev == nullptr) {
+            t->bins()[bi].store(nx, std::memory_order_release);
+          } else {
+            prev->next.store(nx, std::memory_order_release);
+          }
+          Reclaimer::template retire<Node>(n);
+          add_count(-1);
+          return true;
+        }
+        prev = n;
+      }
+      return false;
+    }
+  }
+
+  /// Bounded-wrapper pressure scan: sweeps up to `max_bins` bins from a
+  /// roving cursor, unlinking every node whose stamp is older than `floor`.
+  /// Returns the number of nodes removed. Skips forwarded bins (a resize in
+  /// flight; the nodes will be seen again in the next table).
+  std::size_t evict_stale(std::uint64_t floor, std::size_t max_bins) {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    testkit::chaos_point("chm.pinned");
+    Table* t = current_table();
+    std::size_t removed = 0;
+    for (std::size_t probe = 0; probe < max_bins; ++probe) {
+      const std::size_t bi =
+          evict_cursor_.fetch_add(1, std::memory_order_relaxed) &
+          (t->nbins - 1);
+      Node* head = t->bins()[bi].load(std::memory_order_acquire);
+      if (head == nullptr) continue;
+      if (head->hash == kForwardHash) continue;
+      BinLock lock{t, bi};
+      head = t->bins()[bi].load(std::memory_order_acquire);
+      if (head != nullptr && head->hash == kForwardHash) continue;
+      Node* prev = nullptr;
+      Node* n = head;
+      while (n != nullptr) {
+        Node* nx = n->next.load(std::memory_order_relaxed);
+        if (n->stamp.load(std::memory_order_relaxed) < floor) {
+          if (prev == nullptr) {
+            t->bins()[bi].store(nx, std::memory_order_release);
+          } else {
+            prev->next.store(nx, std::memory_order_release);
+          }
+          Reclaimer::template retire<Node>(n);
+          add_count(-1);
+          ++removed;
+        } else {
+          prev = n;
+        }
+        n = nx;
+      }
+    }
+    return removed;
+  }
+
+  /// Per-entry heap cost (evict.hpp derives the wrapper's byte estimate as
+  /// size() * node_bytes() + table footprint; exact accounting is the
+  /// cache-trie's game — the baseline reports an estimate, DESIGN.md §3).
+  static constexpr std::size_t node_bytes() noexcept { return sizeof(Node); }
 
   std::optional<V> remove(const K& key) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
@@ -255,6 +422,18 @@ class ConcurrentHashMap {
     return bytes;
   }
 
+  /// O(1) derived footprint: table bytes + size() * node_bytes(). The
+  /// striped size counter makes this approximate under concurrency, but it
+  /// is cheap enough to evaluate on every operation — the bounded mode's
+  /// backpressure check (evict.hpp) polls it per write, where the exact
+  /// traversal above would turn each insert into a full-table walk.
+  std::size_t footprint_estimate_bytes() const {
+    [[maybe_unused]] auto guard = Reclaimer::pin();
+    Table* t = table_.load(std::memory_order_acquire);
+    return sizeof(*this) + Table::alloc_size(t->nbins) +
+           size() * node_bytes();
+  }
+
   /// Number of bins in the current table (tests observe resize growth).
   std::size_t bin_count() const {
     return table_.load(std::memory_order_acquire)->nbins;
@@ -301,7 +480,8 @@ class ConcurrentHashMap {
     ~BinLock() { t->locks()[bi].store(0, std::memory_order_release); }
   };
 
-  bool do_insert(const K& key, const V& value, bool only_if_absent) {
+  bool do_insert(const K& key, const V& value, bool only_if_absent,
+                 std::uint64_t stamp = 0) {
     [[maybe_unused]] auto guard = Reclaimer::pin();
     // Fault site: stalls a thread inside a guard before it does anything.
     // Note this map is lock-BASED (bin locks): forever-stall plans must
@@ -317,7 +497,7 @@ class ConcurrentHashMap {
       Node* head = bin.load(std::memory_order_acquire);
       if (head == nullptr) {
         // Lock-free fast path: CAS into the empty bin.
-        Node* fresh = Node::make(h, key, value, nullptr);
+        Node* fresh = Node::make(h, key, value, nullptr, stamp);
         testkit::chaos_point("chm.bin_cas");
         Node* expected = nullptr;
         // [publishes: CHM_BIN_LINK]
@@ -350,8 +530,8 @@ class ConcurrentHashMap {
           if (only_if_absent) return false;
           // Replace the node (readers are lock-free; value is inline, so an
           // in-place write would tear).
-          Node* fresh =
-              Node::make(h, key, value, n->next.load(std::memory_order_relaxed));
+          Node* fresh = Node::make(
+              h, key, value, n->next.load(std::memory_order_relaxed), stamp);
           if (prev == nullptr) {
             bin.store(fresh, std::memory_order_release);
           } else {
@@ -361,7 +541,7 @@ class ConcurrentHashMap {
           return false;
         }
         // Append at the head (cheapest; chain order is irrelevant).
-        Node* fresh = Node::make(h, key, value, head);
+        Node* fresh = Node::make(h, key, value, head, stamp);
         bin.store(fresh, std::memory_order_release);
         inserted = true;
       }
@@ -493,10 +673,11 @@ class ConcurrentHashMap {
         (run_bit ? hi : lo) = last_run;
         for (Node* n = head; n != last_run;
              n = n->next.load(std::memory_order_relaxed)) {
+          const std::uint64_t st = n->stamp.load(std::memory_order_relaxed);
           if ((n->hash & t->nbins) == 0) {
-            lo = Node::make(n->hash, n->key, n->value, lo);
+            lo = Node::make(n->hash, n->key, n->value, lo, st);
           } else {
-            hi = Node::make(n->hash, n->key, n->value, hi);
+            hi = Node::make(n->hash, n->key, n->value, hi, st);
           }
         }
       }
@@ -549,6 +730,8 @@ class ConcurrentHashMap {
   Hash hasher_{};
   std::atomic<Table*> table_{nullptr};
   util::PaddedCounter counters_[kCounterStripes];
+  /// Roving bin cursor for evict_stale() (bounded wrapper only).
+  std::atomic<std::size_t> evict_cursor_{0};
 };
 
 }  // namespace cachetrie::chm

@@ -48,6 +48,17 @@ inline Counter cachetrie_insert_new{"cachetrie.op.insert_new"};
 inline Counter cachetrie_replace{"cachetrie.op.replace"};
 inline Counter cachetrie_remove{"cachetrie.op.remove"};
 
+// --- cachetrie: bounded-memory mode (DESIGN.md §3) -------------------------
+// Evictions are linearizable removes performed by the eviction machinery
+// rather than a user remove(); they are counted here, not in op.remove, so
+// the chaos-test invariant above stays exact for unbounded tries and the
+// TTL tests can assert evictions + expiries == pairs that vanished.
+inline Counter cachetrie_evict_lru{"cachetrie.evict.lru"};
+inline Counter cachetrie_evict_ttl{"cachetrie.evict.ttl"};
+/// Ceiling backpressure: operations that entered an over-ceiling eviction
+/// scan before doing their own work.
+inline Counter cachetrie_evict_backpressure{"cachetrie.evict.backpressure"};
+
 // --- cachetrie: distributions ----------------------------------------------
 /// Pointer dereferences per lookup (cache hit == 1 for SNode entries, 2 for
 /// ANode entries; slow lookups record their true walked depth). Every entry

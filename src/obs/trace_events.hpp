@@ -27,6 +27,10 @@ enum class EventId : std::uint16_t {
   kCachetrieTxnCommit,         // two-CAS txn: announcement won, slot committed
   kCachetrieCacheInstall,      // cache array (re)published
   kCachetrieCacheLevelChange,  // sampling pass moved the cached level
+  kCachetrieEvict,             // bounded mode: stale pair lazily evicted (LRU)
+  kCachetrieExpire,            // bounded mode: TTL-expired pair evicted
+  kCachetrieCeilingHit,        // bounded mode: resident bytes over the ceiling
+                               // (a0 = resident, a1 = ceiling)
 
   // --- ctrie ----------------------------------------------------------------
   kCtrieGcasBegin,   // span: main-node CAS funnel (incl. retiring the loser)
@@ -79,6 +83,9 @@ inline constexpr EventInfo kEventInfo[static_cast<std::size_t>(
     {"cachetrie.txn_commit", "cachetrie", 'i'},
     {"cachetrie.cache.install", "cachetrie", 'i'},
     {"cachetrie.cache.level_change", "cachetrie", 'i'},
+    {"cachetrie.evict", "cachetrie", 'i'},
+    {"cachetrie.expire", "cachetrie", 'i'},
+    {"cachetrie.ceiling_hit", "cachetrie", 'i'},
     {"ctrie.gcas", "ctrie", 'B'},
     {"ctrie.gcas", "ctrie", 'E'},
     {"ctrie.gcas.retry", "ctrie", 'i'},

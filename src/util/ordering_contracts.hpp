@@ -18,6 +18,16 @@
 // EPOCH_*/MR_*/HP_* memory reclamation, TRACE_* flight recorder, TK_*
 // testkit. The second argument is prose: what data the edge publishes and
 // which paper/DESIGN section owns the argument.
+//
+// The bounded-memory mode (DESIGN.md §3) adds NO edges to this table, by
+// design: its eviction CASes are ordinary txn announce/commit steps and
+// ride CT_TXN / CT_SLOT_COMMIT unchanged, while the per-leaf stamp word,
+// the operation tick, and the resident-bytes ledger are relaxed *advisory*
+// state — a torn or stale read can at worst evict the wrong victim or run
+// one extra backpressure scan, never violate linearizability or leak a
+// node. Advisory words must stay relaxed and unannotated; promoting one to
+// an edge here would claim a synchronization role the protocol neither
+// needs nor provides.
 #pragma once
 
 #include <cstddef>

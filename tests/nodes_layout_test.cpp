@@ -53,6 +53,22 @@ TEST(NodeLayout, SNodeCarriesPairAndIdleTxn) {
   EXPECT_EQ(s->key, 7);
   EXPECT_EQ(s->value, 70);
   EXPECT_EQ(s->txn.load(), Sentinels::no_txn());
+  // Unbounded tries never write the stamp; it must default to 0 so the
+  // bounded-mode horizon checks are vacuous for them.
+  EXPECT_EQ(s->stamp.load(), 0u);
+  delete s;
+}
+
+TEST(NodeLayout, StampWordCarriedByBothLeafKinds) {
+  // The bounded mode (DESIGN.md §3) stores the last-use tick inline in the
+  // leaf: one extra word per pair, atomic on SNodes (hits refresh it
+  // concurrently), plain on LNodes (chains are immutable — a rebuild copies
+  // the stamp forward instead).
+  auto* s = SNode<int, int>::make(0x1ull, 1, 10, /*stamp=*/42);
+  EXPECT_EQ(s->stamp.load(), 42u);
+  auto* l = LNode<int, int>::make(0x2ull, 2, 20, nullptr, /*stamp=*/43);
+  EXPECT_EQ(l->stamp, 43u);
+  delete l;
   delete s;
 }
 
@@ -77,6 +93,7 @@ TEST(NodeLayout, LNodeChainLinks) {
   auto* l2 = LNode<int, int>::make(5, 2, 20, l1);
   EXPECT_EQ(l2->next, l1);
   EXPECT_EQ(l2->hash, l1->hash);
+  EXPECT_EQ(l1->stamp, 0u);  // default: unbounded tries never stamp
   delete l2;
   delete l1;
 }

@@ -1,0 +1,254 @@
+// ttl_expiry_test.cpp — deterministic TTL semantics via the injectable
+// clock. Single-threaded on purpose: every assertion here is exact, so the
+// lazy-eviction bookkeeping (who counts an expiry, when a corpse is
+// physically dropped, what size()/for_each() report) is pinned with no
+// tolerance for scheduling. The concurrent side lives in eviction_lin_test
+// and eviction_fault_test.
+//
+// The invariants under test (DESIGN.md §3):
+//   * a TTL-expired pair is unobservable (lookup/contains/size/for_each)
+//     the instant the clock passes its horizon — before any eviction runs;
+//   * an unexpired pair is never evicted by TTL machinery;
+//   * a lookup hit refreshes the stamp (LRU/TTL clock restarts);
+//   * mutating ops over a corpse behave as if the key were absent, evict
+//     the corpse, and count exactly one expiry per corpse;
+//   * single-threaded, evictions + expiries + user removes == pairs that
+//     vanished, and the exact resident-byte accounting matches a footprint
+//     walk at quiescence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "cachetrie/evict.hpp"
+
+namespace {
+
+using BoundedTrie =
+    cachetrie::evict::BoundedCacheTrie<std::uint64_t, std::uint64_t>;
+using BoundedChm =
+    cachetrie::evict::BoundedChm<std::uint64_t, std::uint64_t>;
+
+std::atomic<std::uint64_t> g_clock{0};
+std::uint64_t test_clock() { return g_clock.load(std::memory_order_relaxed); }
+
+constexpr std::uint64_t kTtl = 100;
+
+cachetrie::evict::BoundedConfig ttl_config() {
+  cachetrie::evict::BoundedConfig cfg;
+  cfg.ttl_ticks = kTtl;
+  cfg.ceiling_bytes = 0;  // TTL only: no pressure machinery in these tests
+  cfg.tick = &test_clock;
+  return cfg;
+}
+
+TEST(TtlExpiry, ExpiredKeysUnobservable) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedTrie t(ttl_config());
+  for (std::uint64_t k = 0; k < 10; ++k) ASSERT_TRUE(t.insert(k, k * 7));
+
+  // Just inside the horizon: everything still visible.
+  g_clock.store(1 + kTtl, std::memory_order_relaxed);
+  EXPECT_EQ(t.size(), 10u);
+
+  // One tick past: every pair is a corpse — absent from every observer,
+  // even though nothing has physically evicted them yet.
+  g_clock.store(2 + kTtl, std::memory_order_relaxed);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(t.lookup(k), std::nullopt) << "corpse observable, key " << k;
+    EXPECT_FALSE(t.contains(k));
+  }
+  std::size_t seen = 0;
+  t.for_each([&](std::uint64_t, std::uint64_t) { ++seen; });
+  EXPECT_EQ(seen, 0u);
+  // Lookups are wait-free and must not have evicted anything.
+  EXPECT_EQ(t.eviction_counts().ttl_expiries, 0u);
+}
+
+TEST(TtlExpiry, UnexpiredNeverEvicted) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedTrie t(ttl_config());
+  for (std::uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(t.insert(k, k));
+
+  // Heavy traffic with the clock inside the horizon: no pair may vanish.
+  g_clock.store(kTtl / 2, std::memory_order_relaxed);
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      EXPECT_TRUE(t.lookup(k).has_value()) << "key " << k;
+      EXPECT_FALSE(t.insert(k, k + round));  // upsert over a live pair
+    }
+  }
+  EXPECT_EQ(t.size(), 64u);
+  const auto c = t.eviction_counts();
+  EXPECT_EQ(c.ttl_expiries, 0u);
+  EXPECT_EQ(c.lru_evictions, 0u);
+  EXPECT_EQ(c.backpressure_scans, 0u);
+}
+
+TEST(TtlExpiry, StampRefreshOnHit) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedTrie t(ttl_config());
+  ASSERT_TRUE(t.insert(1, 11));  // will be touched at tick 90
+  ASSERT_TRUE(t.insert(2, 22));  // will not be touched again
+
+  g_clock.store(90, std::memory_order_relaxed);
+  EXPECT_EQ(t.lookup(1), std::optional<std::uint64_t>(11));  // refresh
+
+  // tick 150: horizon = 50. Key 1's stamp is 90 (refreshed) — alive; key
+  // 2's stamp is 1 — a corpse. Without the refresh both would be gone.
+  g_clock.store(150, std::memory_order_relaxed);
+  EXPECT_EQ(t.lookup(1), std::optional<std::uint64_t>(11));
+  EXPECT_EQ(t.lookup(2), std::nullopt);
+  EXPECT_EQ(t.size(), 1u);
+
+  // The refresh keeps restarting the clock indefinitely.
+  for (std::uint64_t now = 150; now < 1000; now += kTtl - 1) {
+    g_clock.store(now, std::memory_order_relaxed);
+    EXPECT_TRUE(t.lookup(1).has_value()) << "at tick " << now;
+  }
+}
+
+TEST(TtlExpiry, MutationsOverCorpsesActAsAbsent) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedTrie t(ttl_config());
+  for (std::uint64_t k = 0; k < 5; ++k) ASSERT_TRUE(t.insert(k, 100 + k));
+  g_clock.store(2 + kTtl, std::memory_order_relaxed);  // all corpses
+
+  // remove: nothing to remove, but the corpse is physically evicted.
+  EXPECT_EQ(t.remove(0), std::nullopt);
+  EXPECT_EQ(t.eviction_counts().ttl_expiries, 1u);
+
+  // remove_if_equals against the (dead) old value: absent.
+  EXPECT_FALSE(t.remove_if_equals(1, 101));
+  EXPECT_EQ(t.eviction_counts().ttl_expiries, 2u);
+
+  // replace: key absent, so no replacement happens.
+  EXPECT_FALSE(t.replace(2, 999));
+  EXPECT_EQ(t.lookup(2), std::nullopt);
+  EXPECT_EQ(t.eviction_counts().ttl_expiries, 3u);
+
+  // put_if_absent: the slot is free again — insertion succeeds.
+  EXPECT_TRUE(t.put_if_absent(3, 333));
+  EXPECT_EQ(t.lookup(3), std::optional<std::uint64_t>(333));
+  EXPECT_EQ(t.eviction_counts().ttl_expiries, 4u);
+
+  // upsert: reports a fresh insert, not a replacement.
+  EXPECT_TRUE(t.insert(4, 444));
+  EXPECT_EQ(t.lookup(4), std::optional<std::uint64_t>(444));
+  EXPECT_EQ(t.eviction_counts().ttl_expiries, 5u);
+}
+
+TEST(TtlExpiry, MetricsEquationSingleThreaded) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedTrie t(ttl_config());
+  constexpr std::uint64_t kN = 200;
+  for (std::uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(t.insert(k, k));
+
+  // Expire everything, then re-insert: each upsert evicts one corpse.
+  g_clock.store(2 + kTtl, std::memory_order_relaxed);
+  for (std::uint64_t k = 0; k < kN; ++k) EXPECT_TRUE(t.insert(k, k * 2));
+  EXPECT_EQ(t.eviction_counts().ttl_expiries, kN);
+  EXPECT_EQ(t.size(), kN);
+
+  // User removes and forced evictions are counted in their own ledgers.
+  std::uint64_t user_removed = 0;
+  for (std::uint64_t k = 0; k < kN; k += 4) {
+    EXPECT_TRUE(t.remove(k).has_value());
+    ++user_removed;
+  }
+  std::uint64_t forced = 0;
+  for (std::uint64_t k = 2; k < kN; k += 4) {
+    EXPECT_TRUE(t.evict(k).has_value());
+    ++forced;
+  }
+  const auto c = t.eviction_counts();
+  EXPECT_EQ(c.ttl_expiries, kN);
+  EXPECT_EQ(c.lru_evictions, forced);
+  // Every vanished pair is accounted for exactly once:
+  //   inserted distinct - user removes - forced evictions == live size
+  // (the kN expiries correspond to the first generation, each of which was
+  // replaced by a live re-insert, so they cancel out of the live count).
+  EXPECT_EQ(t.size(), kN - user_removed - forced);
+}
+
+TEST(TtlExpiry, ResidentBytesMatchFootprintAtQuiescence) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedTrie t(ttl_config());
+  // Churn across generations: insert, expire, overwrite, remove — every
+  // accounting choke point (publish, retire, subtree build, chain rebuild,
+  // compression) fires at least once.
+  for (std::uint64_t gen = 0; gen < 4; ++gen) {
+    const std::uint64_t base = g_clock.load(std::memory_order_relaxed);
+    for (std::uint64_t k = 0; k < 300; ++k) t.insert(k + gen * 17, k);
+    g_clock.store(base + kTtl / 2, std::memory_order_relaxed);
+    for (std::uint64_t k = 0; k < 300; k += 3) t.remove(k + gen * 17);
+    g_clock.store(base + 2 * kTtl, std::memory_order_relaxed);  // expire rest
+    for (std::uint64_t k = 0; k < 300; k += 2) t.insert(k + gen * 17, k);
+  }
+  // Exact double-entry accounting: published minus retired equals what a
+  // footprint walk of the live structure finds (minus the object header,
+  // which the walk includes but the ledger does not track).
+  EXPECT_EQ(t.resident_bytes(),
+            t.footprint_bytes() - sizeof(BoundedTrie::Trie));
+  EXPECT_TRUE(t.underlying().debug_validate().empty());
+}
+
+// --- the chm baseline wrapper: same semantics where the surface overlaps ---
+
+TEST(TtlExpiryChm, ExpiredKeysUnobservableAndEvictedLazily) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedChm m(ttl_config());
+  for (std::uint64_t k = 0; k < 10; ++k) ASSERT_TRUE(m.insert(k, k * 7));
+
+  g_clock.store(2 + kTtl, std::memory_order_relaxed);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(m.lookup(k), std::nullopt);
+  }
+  // The wrapper expires only the operation's own key; each remove() of a
+  // corpse reports "absent" and counts one expiry.
+  EXPECT_EQ(m.remove(0), std::nullopt);
+  EXPECT_FALSE(m.remove_if_equals(1, 7));
+  EXPECT_EQ(m.eviction_counts().ttl_expiries, 2u);
+
+  // Insert over a corpse: the corpse is dropped first, so this is a fresh
+  // insert, and put_if_absent succeeds.
+  EXPECT_TRUE(m.insert(2, 999));
+  EXPECT_TRUE(m.put_if_absent(3, 888));
+  EXPECT_EQ(m.eviction_counts().ttl_expiries, 4u);
+  EXPECT_EQ(m.lookup(2), std::optional<std::uint64_t>(999));
+  EXPECT_EQ(m.lookup(3), std::optional<std::uint64_t>(888));
+}
+
+TEST(TtlExpiryChm, StampRefreshOnHit) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedChm m(ttl_config());
+  ASSERT_TRUE(m.insert(1, 11));
+  ASSERT_TRUE(m.insert(2, 22));
+
+  g_clock.store(90, std::memory_order_relaxed);
+  EXPECT_EQ(m.lookup(1), std::optional<std::uint64_t>(11));
+
+  g_clock.store(150, std::memory_order_relaxed);
+  EXPECT_EQ(m.lookup(1), std::optional<std::uint64_t>(11));
+  EXPECT_EQ(m.lookup(2), std::nullopt);
+}
+
+TEST(TtlExpiryChm, UnexpiredNeverEvicted) {
+  g_clock.store(1, std::memory_order_relaxed);
+  BoundedChm m(ttl_config());
+  for (std::uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(m.insert(k, k));
+  g_clock.store(kTtl / 2, std::memory_order_relaxed);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_TRUE(m.lookup(k).has_value()) << "key " << k;
+  }
+  const auto c = m.eviction_counts();
+  EXPECT_EQ(c.ttl_expiries, 0u);
+  EXPECT_EQ(c.lru_evictions, 0u);
+}
+
+}  // namespace
