@@ -14,6 +14,11 @@
 # threads intentionally leak their in-flight allocations (simulated thread
 # death never runs cleanup) and LeakSanitizer would report exactly those.
 #
+# The net label (serving-layer connection-fault battery,
+# tests/net_fault_test.cpp) runs in the same two stages for the same
+# reasons: killed shard threads leak by design, and its latency/liveness
+# assertions need the machine to themselves.
+#
 # The trace label (flight recorder: tests/trace_test.cpp and the
 # chaos-perturbed tests/trace_smoke_test.cpp, which replays the stalled-
 # reader fault seed) runs in the same two stages for the same reason, with
@@ -61,6 +66,12 @@ run_stage() {
     # Liveness windows: the watchdog asserts per-tick progress, so never
     # run fault tests in parallel with each other on a loaded box.
     "${env_prefix[@]}" ctest --test-dir "$dir" -L fault --output-on-failure -j 1
+    echo "=== [$stage] ctest -L net ==="
+    # Serving-layer fault battery (tests/net_fault_test.cpp): loopback
+    # servers with killed/stalled shard threads and latency assertions —
+    # same two reasons as fault (leaky victims, liveness windows), so the
+    # same stages and the same -j 1.
+    "${env_prefix[@]}" ctest --test-dir "$dir" -L net --output-on-failure -j 1
     echo "=== [$stage] ctest -L trace ==="
     local trace_out="$dir/trace-out"
     rm -rf "$trace_out" && mkdir -p "$trace_out"
@@ -85,7 +96,7 @@ run_perf() {
     -DCACHETRIE_BUILD_EXAMPLES=OFF -DCACHETRIE_BUILD_BENCH=ON \
     -DCACHETRIE_METRICS=ON >/dev/null
   cmake --build "$dir" -j "$jobs" --target perf_smoke \
-    --target fig14_bounded_churn >/dev/null
+    --target fig14_bounded_churn --target fig15_served_load >/dev/null
   echo "=== [perf] run perf_smoke ==="
   (cd "$dir" && ./bench/perf_smoke)
   echo "=== [perf] gate vs committed baseline ==="
@@ -102,6 +113,18 @@ run_perf() {
     "$repo/bench/BENCH_fig14_bounded_churn.baseline.json" \
     "$dir/BENCH_fig14_bounded_churn.json" \
     --tolerance 1.0 --min-ms 0.5 --noise-stddevs 3
+  # Serving-layer canary: the binary hard-fails on the robustness
+  # invariants themselves (shard death, protocol errors, a write-buffer
+  # escape); the gate watches the open-loop tail cells for drift. Wider
+  # tolerance than the in-process gates — these tails cross the kernel
+  # socket path and a 1-core scheduler.
+  echo "=== [perf] run fig15_served_load ==="
+  (cd "$dir" && ./bench/fig15_served_load)
+  echo "=== [perf] gate fig15 vs committed baseline ==="
+  python3 "$repo/scripts/perf_gate.py" \
+    "$repo/bench/BENCH_fig15_served_load.baseline.json" \
+    "$dir/BENCH_fig15_served_load.json" \
+    --tolerance 3.0 --min-ms 0.5 --noise-stddevs 4
 }
 
 # Lint stage: no build tree needed — runs the static protocol checks

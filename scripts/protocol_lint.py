@@ -95,8 +95,11 @@ ATOMIC_METHODS = {
 CAS_METHODS = {"compare_exchange_weak", "compare_exchange_strong"}
 
 # Directories whose raw new/delete traffic must flow through make/destroy
-# helpers (the protocol node types live here).
-PROTOCOL_NODE_DIRS = {"cachetrie", "ctrie", "chashmap", "skiplist"}
+# helpers (the protocol node types live here). "net" carries no protocol
+# nodes, but the serving layer buys into the same discipline: connection
+# and buffer ownership is RAII-only, so any raw new/delete appearing there
+# is a bug by construction.
+PROTOCOL_NODE_DIRS = {"cachetrie", "ctrie", "chashmap", "skiplist", "net"}
 
 # Enclosing-function names allowed to use raw new/delete on protocol nodes.
 DESIGNATED_HELPER_RE = re.compile(

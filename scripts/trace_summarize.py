@@ -17,7 +17,11 @@ For each file (a Chrome trace-event dump written by obs/trace_export.hpp):
     to spot "the epoch stopped flipping for 400 ms";
   * the top-N longest spans ('B'/'E' pairs matched per thread by name,
     e.g. chm.bin_lock waits+holds and ctrie.gcas funnels), with thread id,
-    start timestamp and payload args.
+    start timestamp and payload args;
+  * when the dump carries serving-layer events (net.*), a per-connection
+    rollup: requests served (net.request spans keyed by a0=conn id) with
+    mean/max service time, shed/deadline/backpressure counts, and the
+    connection's close reason.
 
 Stdlib only; no third-party imports. Exit status: 0 on success, 2 on a
 missing/undecodable/foreign-schema file.
@@ -64,6 +68,14 @@ KNOWN_EVENTS = frozenset({
     "testkit.fault.kill",
     "testkit.watchdog.violation",
     "testkit.lin_check.fail",
+    "net.accept",
+    "net.conn.close",
+    "net.request",
+    "net.shed",
+    "net.deadline_expire",
+    "net.backpressure_kill",
+    "net.drain",
+    "net.shutdown",
 })
 
 
@@ -120,6 +132,75 @@ def collect_spans(events):
     return spans, open_spans
 
 
+CLOSE_REASONS = {0: "eof", 1: "error", 2: "proto", 3: "backpressure",
+                 4: "shutdown"}
+
+# net.* events carrying a connection id in a0 (net.drain / net.shutdown
+# carry a shard index there instead and stay out of the connection view).
+CONN_EVENTS = frozenset({
+    "net.accept", "net.conn.close", "net.request", "net.shed",
+    "net.deadline_expire", "net.backpressure_kill",
+})
+
+
+def connection_view(events, spans, top):
+    """Per-connection rollup of the serving layer's trace: requests served
+    (matched net.request spans keyed by a0=conn id), sheds, deadline
+    expiries, backpressure kills, and how the connection ended. Prints
+    nothing when the dump has no net.* connection events."""
+    conns = {}
+
+    def row(cid):
+        return conns.setdefault(cid, {
+            "shard": None, "requests": 0, "dur_sum": 0.0, "dur_max": 0.0,
+            "shed": 0, "deadline": 0, "bp_kill": 0, "close": None,
+        })
+
+    seen = False
+    for ev in events:
+        name = ev.get("name")
+        if name not in CONN_EVENTS or name == "net.request":
+            continue
+        args = ev.get("args", {})
+        if "a0" not in args:
+            continue
+        seen = True
+        r = row(args["a0"])
+        if name == "net.accept":
+            r["shard"] = args.get("a1")
+        elif name == "net.conn.close":
+            r["close"] = CLOSE_REASONS.get(args.get("a1"), args.get("a1"))
+        elif name == "net.shed":
+            r["shed"] += 1
+        elif name == "net.deadline_expire":
+            r["deadline"] += 1
+        elif name == "net.backpressure_kill":
+            r["bp_kill"] += 1
+    for dur, name, _tid, _start, args in spans:
+        if name != "net.request" or "a0" not in args:
+            continue
+        seen = True
+        r = row(args["a0"])
+        r["requests"] += 1
+        r["dur_sum"] += dur
+        r["dur_max"] = max(r["dur_max"], dur)
+    if not seen:
+        return
+
+    print(f"  connections (top {min(top, len(conns))} of {len(conns)} "
+          f"by requests):")
+    ranked = sorted(conns.items(),
+                    key=lambda kv: (-kv[1]["requests"], kv[0]))
+    for cid, r in ranked[:top]:
+        mean = r["dur_sum"] / r["requests"] if r["requests"] else 0.0
+        shard = "?" if r["shard"] is None else r["shard"]
+        close = r["close"] if r["close"] is not None else "open"
+        print(f"    conn {cid:<6} shard {shard:<3} requests {r['requests']:>6}"
+              f"  serve us mean/max {mean:.1f}/{r['dur_max']:.1f}"
+              f"  shed {r['shed']}  deadline {r['deadline']}"
+              f"  bp_kill {r['bp_kill']}  close {close}")
+
+
 def summarize(path, top):
     doc = load(path)
     other = doc.get("otherData", {})
@@ -164,6 +245,8 @@ def summarize(path, top):
     else:
         print("  no completed spans" +
               (f" ({open_spans} still open)" if open_spans else ""))
+
+    connection_view(events, spans, top)
 
 
 def main():

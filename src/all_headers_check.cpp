@@ -7,6 +7,7 @@
 #include "cachetrie/cache.hpp"
 #include "cachetrie/cache_trie.hpp"
 #include "cachetrie/config.hpp"
+#include "cachetrie/evict.hpp"
 #include "cachetrie/nodes.hpp"
 #include "cachetrie/stats.hpp"
 #include "chashmap/chashmap.hpp"
@@ -21,6 +22,12 @@
 #include "mr/hazard.hpp"
 #include "mr/leak.hpp"
 #include "mr/reclaimer.hpp"
+#include "net/client.hpp"
+#include "net/proto.hpp"
+#include "net/reactor.hpp"
+#include "net/serve_map.hpp"
+#include "net/shard.hpp"
+#include "net/socket.hpp"
 #include "obs/inventory.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
@@ -61,6 +68,17 @@ int touch() {
 }
 
 }  // namespace
+
+// Compile every member of the serving-layer templates under the strict
+// flags (nothing is constructed — no sockets open in this check).
+template class cachetrie::net::Shard<
+    cachetrie::evict::BoundedCacheTrie<std::uint64_t, std::uint64_t>>;
+template class cachetrie::net::Server<
+    cachetrie::evict::BoundedCacheTrie<std::uint64_t, std::uint64_t>>;
+template class cachetrie::net::Shard<
+    cachetrie::evict::BoundedChm<std::uint64_t, std::uint64_t>>;
+template class cachetrie::net::Server<
+    cachetrie::evict::BoundedChm<std::uint64_t, std::uint64_t>>;
 
 int cachetrie_all_headers_check() {
   int out = 0;

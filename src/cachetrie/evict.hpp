@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <optional>
 
@@ -139,6 +140,23 @@ class BoundedCacheTrie {
   std::size_t ceiling_bytes() const {
     return trie_.config().ceiling_bytes;
   }
+  /// Bytes left under the ceiling; SIZE_MAX when unbounded. Advisory (both
+  /// inputs are relaxed-published), which is all the callers want — the
+  /// serving layer flips a degraded *hint* on replies, it does not gate
+  /// admission on an exact byte count.
+  std::size_t resident_headroom_bytes() const {
+    const std::size_t c = ceiling_bytes();
+    if (c == 0) return std::numeric_limits<std::size_t>::max();
+    const std::size_t r = resident_bytes();
+    return r >= c ? 0 : c - r;
+  }
+  /// True once resident bytes cross `frac` of the ceiling — the serving
+  /// layer's graceful-degradation signal (net/serve_map.hpp).
+  bool near_ceiling(double frac = 0.9) const {
+    const std::size_t c = ceiling_bytes();
+    return c != 0 && static_cast<double>(resident_bytes()) >=
+                         frac * static_cast<double>(c);
+  }
 
   /// The wrapped trie, for tests that need debug_validate() etc.
   Trie& underlying() { return trie_; }
@@ -248,6 +266,17 @@ class BoundedChm {
                                 : op_tick_.load(std::memory_order_relaxed);
   }
   std::size_t ceiling_bytes() const { return ceiling_; }
+  /// Same contract as BoundedCacheTrie::resident_headroom_bytes, over the
+  /// derived estimate.
+  std::size_t resident_headroom_bytes() const {
+    if (ceiling_ == 0) return std::numeric_limits<std::size_t>::max();
+    const std::size_t r = resident_bytes();
+    return r >= ceiling_ ? 0 : ceiling_ - r;
+  }
+  bool near_ceiling(double frac = 0.9) const {
+    return ceiling_ != 0 && static_cast<double>(resident_bytes()) >=
+                                frac * static_cast<double>(ceiling_);
+  }
 
   Map& underlying() { return map_; }
   const Map& underlying() const { return map_; }

@@ -1,0 +1,180 @@
+// proto.hpp — the serving layer's length-prefixed binary wire protocol.
+//
+// One frame = a u32 byte length followed by a fixed-size body. Requests
+// carry (op, key, value, deadline); replies carry (status, value, flags).
+// Keys and values are u64, matching the map instantiations every bench in
+// this repo serves — the protocol's job is to put the four maps behind real
+// sockets, not to be a general serialization format (DESIGN.md §4).
+//
+// Deadline semantics: `send_ts_us` is the client's steady-clock stamp at
+// send time and `deadline_us` the budget measured from it, so a request
+// that sat in a kernel socket buffer behind a stalled shard is *already
+// expired* when the shard finally parses it — queueing delay counts
+// against the budget, the same honesty rule the open-loop load generator
+// applies to latency (coordinated omission is measured, not hidden).
+// Steady clocks are system-wide on one host, which is the deployment this
+// repo measures; a cross-host deployment would re-stamp budgets at ingress
+// (see DESIGN.md §4). send_ts_us == 0 means "stamp on admission" and
+// deadline_us == 0 means "no deadline".
+//
+// Byte order is host order (x86-64 little-endian, the only platform this
+// repo targets — nodes_layout_test pins the same assumption).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+namespace cachetrie::net::proto {
+
+inline constexpr std::uint32_t kRequestMagic = 0x31525443u;  // "CTR1"
+inline constexpr std::uint32_t kReplyMagic = 0x31504443u;    // "CDP1"
+
+enum class Op : std::uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kRemove = 3,
+  kRemoveIfEquals = 4,
+  kPing = 5,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,        // GET/REMOVE on an absent key (still a served reply)
+  kShed = 2,            // admission control refused the request; retryable
+  kDeadlineExceeded = 3,  // budget expired before execution; NOT executed
+  kBadRequest = 4,      // unknown op — the connection survives
+
+  // Client-side synthetic statuses; never on the wire.
+  kTimeout = 240,       // no reply within the client's op timeout
+  kClosed = 241,        // connection closed/reset under the operation
+  kSendFailed = 242,    // could not write the request
+};
+
+/// Reply flags: advisory bits clients use to modulate behaviour.
+inline constexpr std::uint16_t kFlagDegraded = 1u << 0;  // map near ceiling
+inline constexpr std::uint16_t kFlagDraining = 1u << 1;  // server draining
+
+struct RequestFrame {
+  std::uint32_t magic = kRequestMagic;
+  std::uint8_t op = 0;
+  std::uint8_t reserved8 = 0;
+  std::uint16_t reserved16 = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;    // PUT: stored value; REMOVE_IF_EQUALS: expected
+  std::uint64_t send_ts_us = 0;
+  std::uint32_t deadline_us = 0;
+  std::uint32_t reserved32 = 0;
+};
+
+struct ReplyFrame {
+  std::uint32_t magic = kReplyMagic;
+  std::uint8_t status = 0;
+  std::uint8_t op = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t value = 0;
+  std::uint32_t queue_us = 0;  // admission-to-execution delay, for clients
+  std::uint32_t reserved32 = 0;
+};
+
+static_assert(sizeof(RequestFrame) == 48 && sizeof(ReplyFrame) == 32,
+              "wire frames must be padding-free");
+static_assert(std::is_trivially_copyable_v<RequestFrame> &&
+              std::is_trivially_copyable_v<ReplyFrame>);
+
+/// Length prefix + largest body this protocol version defines. A length
+/// outside [kMinBody, kMaxBody] is a protocol error and closes the
+/// connection — a garbage prefix must never make the server buffer "one
+/// 4 GiB frame".
+inline constexpr std::size_t kLenPrefix = sizeof(std::uint32_t);
+inline constexpr std::size_t kMinBody = sizeof(ReplyFrame);
+inline constexpr std::size_t kMaxBody = sizeof(RequestFrame);
+inline constexpr std::size_t kRequestWire = kLenPrefix + sizeof(RequestFrame);
+inline constexpr std::size_t kReplyWire = kLenPrefix + sizeof(ReplyFrame);
+
+/// Microseconds on the host-wide steady clock (the deadline time base).
+inline std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+template <typename Frame>
+inline void append_frame(std::vector<unsigned char>& out, const Frame& f) {
+  const std::uint32_t len = sizeof(Frame);
+  const std::size_t base = out.size();
+  out.resize(base + kLenPrefix + sizeof(Frame));
+  std::memcpy(out.data() + base, &len, kLenPrefix);
+  std::memcpy(out.data() + base + kLenPrefix, &f, sizeof(Frame));
+}
+
+/// Outcome of pulling one frame out of a byte stream.
+enum class ParseResult : std::uint8_t {
+  kFrame,       // *out holds a frame; *consumed bytes were eaten
+  kNeedMore,    // the buffer holds a partial frame; read more bytes
+  kProtocolError,  // bad length or magic — close the connection
+};
+
+/// Parses one request frame from `data[0..size)`. On kFrame, `*consumed`
+/// is the total wire bytes of the frame (prefix + body).
+inline ParseResult parse_request(const unsigned char* data, std::size_t size,
+                                 RequestFrame* out,
+                                 std::size_t* consumed) noexcept {
+  if (size < kLenPrefix) return ParseResult::kNeedMore;
+  std::uint32_t len = 0;
+  std::memcpy(&len, data, kLenPrefix);
+  if (len != sizeof(RequestFrame)) return ParseResult::kProtocolError;
+  if (size < kLenPrefix + len) return ParseResult::kNeedMore;
+  std::memcpy(out, data + kLenPrefix, sizeof(RequestFrame));
+  if (out->magic != kRequestMagic) return ParseResult::kProtocolError;
+  *consumed = kLenPrefix + len;
+  return ParseResult::kFrame;
+}
+
+/// Parses one reply frame (the client side of the same stream discipline).
+inline ParseResult parse_reply(const unsigned char* data, std::size_t size,
+                               ReplyFrame* out,
+                               std::size_t* consumed) noexcept {
+  if (size < kLenPrefix) return ParseResult::kNeedMore;
+  std::uint32_t len = 0;
+  std::memcpy(&len, data, kLenPrefix);
+  if (len != sizeof(ReplyFrame)) return ParseResult::kProtocolError;
+  if (size < kLenPrefix + len) return ParseResult::kNeedMore;
+  std::memcpy(out, data + kLenPrefix, sizeof(ReplyFrame));
+  if (out->magic != kReplyMagic) return ParseResult::kProtocolError;
+  *consumed = kLenPrefix + len;
+  return ParseResult::kFrame;
+}
+
+inline const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kShed: return "shed";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kTimeout: return "timeout";
+    case Status::kClosed: return "closed";
+    case Status::kSendFailed: return "send_failed";
+  }
+  return "unknown";
+}
+
+inline const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kGet: return "get";
+    case Op::kPut: return "put";
+    case Op::kRemove: return "remove";
+    case Op::kRemoveIfEquals: return "remove_if_equals";
+    case Op::kPing: return "ping";
+  }
+  return "unknown";
+}
+
+}  // namespace cachetrie::net::proto

@@ -1,0 +1,78 @@
+// serve_map.hpp — uniform adapter between the wire protocol and the bounded
+// maps (cachetrie/evict.hpp).
+//
+// The reactor shards are map-agnostic: they hand a parsed RequestFrame to
+// ServeMap<Map>::execute and get back (status, value). Both bounded maps —
+// BoundedCacheTrie and BoundedChm — expose the same method surface, so one
+// template covers the trie and the baseline; the server binary and the
+// fault tests instantiate both.
+//
+// The adapter is also where graceful degradation is sensed: near_ceiling()
+// polls the map's resident-vs-ceiling ratio so shards can stamp kFlagDegraded
+// on replies while the lazy eviction path works the footprint back down —
+// clients see "served, but the cache is under memory pressure" instead of a
+// failure, and the BoundedCacheTrie keeps its ceiling the way fig14 proves
+// (writers run backpressure scans; no evictor thread exists to fall behind).
+#pragma once
+
+#include <cstdint>
+
+#include "net/proto.hpp"
+
+namespace cachetrie::net {
+
+/// Thin non-owning view over a bounded map. `Map` must expose the bounded
+/// surface: lookup/insert/remove/remove_if_equals over u64 keys and values,
+/// plus near_ceiling()/resident_headroom_bytes().
+template <typename Map>
+class ServeMap {
+ public:
+  explicit ServeMap(Map& map) noexcept : map_(&map) {}
+
+  /// Executes one request against the map. Fills `*value_out` for ops that
+  /// produce a value (GET, REMOVE return the stored value; PUT and PING echo
+  /// the request's). Never throws protocol-level errors — an unknown op is a
+  /// kBadRequest reply, not a closed connection.
+  proto::Status execute(const proto::RequestFrame& req,
+                        std::uint64_t* value_out) {
+    switch (static_cast<proto::Op>(req.op)) {
+      case proto::Op::kGet: {
+        const auto v = map_->lookup(req.key);
+        if (!v.has_value()) return proto::Status::kNotFound;
+        *value_out = *v;
+        return proto::Status::kOk;
+      }
+      case proto::Op::kPut:
+        map_->insert(req.key, req.value);
+        *value_out = req.value;
+        return proto::Status::kOk;
+      case proto::Op::kRemove: {
+        const auto v = map_->remove(req.key);
+        if (!v.has_value()) return proto::Status::kNotFound;
+        *value_out = *v;
+        return proto::Status::kOk;
+      }
+      case proto::Op::kRemoveIfEquals:
+        if (!map_->remove_if_equals(req.key, req.value)) {
+          return proto::Status::kNotFound;
+        }
+        *value_out = req.value;
+        return proto::Status::kOk;
+      case proto::Op::kPing:
+        *value_out = req.value;
+        return proto::Status::kOk;
+    }
+    return proto::Status::kBadRequest;
+  }
+
+  /// Degradation signal: resident bytes within `frac` of the ceiling.
+  bool near_ceiling(double frac) const { return map_->near_ceiling(frac); }
+  std::uint64_t resident_headroom_bytes() const {
+    return map_->resident_headroom_bytes();
+  }
+
+ private:
+  Map* map_;
+};
+
+}  // namespace cachetrie::net

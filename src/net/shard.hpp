@@ -1,0 +1,525 @@
+// shard.hpp — one single-threaded epoll shard of the serving layer.
+//
+// A shard owns an epoll instance, every connection routed to it, and one
+// pending-request queue; the maps it serves are the only state it shares
+// with other shards (they are lock-free, so sharing them costs no
+// cross-shard protocol). Everything else — read buffers, write buffers,
+// the queue, the stats — is touched by the shard thread alone, which is why
+// the serving layer adds just three edges to ordering_contracts.hpp
+// (NET_REPLY_PUBLISH in the client, NET_SHED_FLAG and NET_DRAIN here)
+// instead of a lock hierarchy (DESIGN.md §4).
+//
+// Robustness machinery, in the order a request meets it:
+//   * admission control: a parsed request is SHED (kShed reply, request not
+//     executed) when the pending queue is at max_inflight or its head has
+//     aged past max_queue_age_us — under overload the queue cannot grow
+//     without bound, so accepted requests keep a bounded queueing delay and
+//     the excess is refused early while the refusal is still cheap;
+//   * deadlines: a request whose budget (send_ts_us + deadline_us) expired
+//     before execution gets kDeadlineExceeded and is NOT executed — time
+//     spent in kernel socket buffers behind a stalled shard counts against
+//     the budget (proto.hpp), so a post-stall flood expires instead of
+//     executing work nobody is waiting for;
+//   * write backpressure: replies buffer in a per-connection wbuf flushed
+//     on EPOLLOUT; a client that stops reading accumulates bytes until
+//     write_buf_cap and is then disconnected — memory stays bounded and the
+//     pathology is *that* client's, not the shard's;
+//   * graceful degradation: when the bounded map is near its resident
+//     ceiling, replies carry kFlagDegraded while the map's own lazy
+//     eviction works the footprint down — load keeps being served;
+//   * drain: on stop the shard refuses new work (kShed + kFlagDraining),
+//     finishes the queue, flushes write buffers, then closes everything —
+//     bounded by drain_timeout_us so a dead client cannot wedge shutdown.
+//
+// Every lifecycle transition crosses a chaos point (net.* sites below), so
+// the PR-2 fault engine can park or kill the shard mid-request, mid-reply,
+// mid-drain; net_fault_test drives each path deterministically.
+#pragma once
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/proto.hpp"
+#include "net/serve_map.hpp"
+#include "net/socket.hpp"
+#include "obs/inventory.hpp"
+#include "obs/trace.hpp"
+#include "testkit/chaos.hpp"
+
+namespace cachetrie::net {
+
+/// Per-shard robustness knobs. The defaults suit the loopback tests; the
+/// server binary and fig15 override them per scenario.
+struct ShardConfig {
+  std::size_t max_inflight = 256;        // pending-queue admission cap
+  std::uint64_t max_queue_age_us = 50'000;   // shed when the head is older
+  std::size_t write_buf_cap = 256 * 1024;    // per-conn buffered reply bytes
+  std::uint32_t default_deadline_us = 0;     // 0: only request-carried budgets
+  double degrade_headroom = 0.9;         // near_ceiling fraction for the flag
+  int epoll_wait_ms = 20;                // idle poll period
+  std::uint64_t drain_timeout_us = 250'000;  // drain bound after stop
+};
+
+/// Why a connection closed (a1 of the net.conn.close trace event).
+enum class CloseReason : std::uint8_t {
+  kEof = 0,           // orderly client close
+  kError = 1,         // hard socket error
+  kProtoError = 2,    // bad length prefix or magic
+  kBackpressure = 3,  // write buffer exceeded the cap
+  kShutdown = 4,      // server drain/shutdown closed it
+};
+
+/// Monotonic per-shard totals, relaxed — test assertions and the stats
+/// aggregation read them after the NET_DRAIN join edge (or best-effort
+/// mid-run, which is all a monitoring poll wants).
+struct ShardStats {
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> deadline_expired{0};
+  std::atomic<std::uint64_t> backpressure_kills{0};
+  std::atomic<std::uint64_t> proto_errors{0};
+  std::atomic<std::uint64_t> conns_adopted{0};
+  std::atomic<std::uint64_t> conns_closed{0};
+  std::atomic<std::uint64_t> degraded_replies{0};
+  std::atomic<std::uint64_t> wbuf_hwm_bytes{0};  // max pending reply bytes
+  std::atomic<std::uint64_t> queue_hwm{0};       // max pending-queue depth
+};
+
+template <typename Map>
+class Shard {
+ public:
+  Shard(Map& map, const ShardConfig& cfg, std::size_t index,
+        const std::atomic<bool>& stop)
+      : map_(map), cfg_(cfg), index_(index), stop_(stop) {
+    epoll_ = Fd{::epoll_create1(EPOLL_CLOEXEC)};
+    event_ = Fd{::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)};
+    if (!epoll_.valid() || !event_.valid()) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;  // conn ids start at 1; 0 is the eventfd
+    ok_ = ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, event_.get(), &ev) == 0;
+  }
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t index() const noexcept { return index_; }
+
+  /// Hands a freshly accepted connection to this shard. Called from the
+  /// acceptor thread; the shard thread registers it at the next wakeup.
+  void adopt(int fd, std::uint64_t conn_id) {
+    {
+      std::lock_guard<std::mutex> lk(inbox_mu_);
+      inbox_.emplace_back(fd, conn_id);
+    }
+    wake();
+  }
+
+  /// Pokes the eventfd so a blocked epoll_wait returns promptly (used by
+  /// adopt() and by Server::stop()).
+  void wake() noexcept {
+    const std::uint64_t one = 1;
+    (void)!::write(event_.get(), &one, sizeof(one));
+  }
+
+  /// Least-loaded routing inputs for the acceptor. `overloaded` is the
+  /// NET_SHED_FLAG acquire side: it makes the pressure counters written
+  /// before the flag visible to the router.
+  bool overloaded() const noexcept {
+    return overloaded_.load(std::memory_order_acquire);  // [acquires: NET_SHED_FLAG]
+  }
+  std::size_t open_conns() const noexcept {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+
+  const ShardStats& stats() const noexcept { return stats_; }
+  bool drained() const noexcept {
+    return drained_.load(std::memory_order_acquire);  // [acquires: NET_DRAIN]
+  }
+
+  /// Thread body. Returns normally after drain; a fault-engine kill
+  /// propagates testkit::fault::ThreadKilled out of a chaos point and is
+  /// caught by the server's thread wrapper (reactor.hpp) — connection fds
+  /// stay owned by this object and close with it, and the maps stay valid
+  /// because every map operation is lock-free.
+  void run() {
+    testkit::chaos_point("net.shard_start");
+    std::uint64_t drain_start_us = 0;
+    while (true) {
+      const bool stopping =
+          stop_.load(std::memory_order_acquire);  // [acquires: NET_DRAIN]
+      if (stopping && drain_start_us == 0) {
+        drain_start_us = proto::now_us();
+        testkit::chaos_point("net.drain");
+        obs::trace::emit(obs::trace::EventId::kNetDrain, index_,
+                         conns_.size());
+      }
+      shed_this_iter_ = false;
+
+      epoll_event evs[64];
+      const int timeout_ms = stopping ? 1 : cfg_.epoll_wait_ms;
+      const int n = ::epoll_wait(epoll_.get(), evs, 64, timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        if (evs[i].data.u64 == 0) {
+          drain_eventfd();
+          continue;
+        }
+        handle_event(evs[i].data.u64, evs[i].events, stopping);
+      }
+      drain_inbox(stopping);
+      process_queue();
+      publish_pressure();
+
+      if (stopping && queue_.empty() &&
+          (all_flushed() ||
+           proto::now_us() - drain_start_us >= cfg_.drain_timeout_us)) {
+        break;
+      }
+    }
+    shutdown();
+  }
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::uint64_t id = 0;
+    std::vector<unsigned char> rbuf;
+    std::vector<unsigned char> wbuf;
+    std::size_t woff = 0;  // flushed prefix of wbuf
+    bool want_write = false;
+
+    std::size_t pending_bytes() const noexcept { return wbuf.size() - woff; }
+  };
+
+  struct Pending {
+    proto::RequestFrame req;
+    std::uint64_t conn_id = 0;
+    std::uint64_t admit_us = 0;
+    std::uint64_t expiry_us = 0;  // 0 = no deadline
+  };
+
+  // --- connection lifecycle -------------------------------------------------
+
+  void drain_eventfd() noexcept {
+    std::uint64_t v = 0;
+    (void)!::read(event_.get(), &v, sizeof(v));
+  }
+
+  void drain_inbox(bool stopping) {
+    std::vector<std::pair<int, std::uint64_t>> batch;
+    {
+      std::lock_guard<std::mutex> lk(inbox_mu_);
+      batch.swap(inbox_);
+    }
+    for (auto& [fd, id] : batch) {
+      if (stopping) {  // adopted after stop: refuse, don't register
+        ::close(fd);
+        continue;
+      }
+      testkit::chaos_point("net.conn_adopt");
+      Conn c;
+      c.fd = Fd{fd};
+      c.id = id;
+      set_nonblocking(fd);
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = id;
+      if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) continue;
+      stats_.conns_adopted.fetch_add(1, std::memory_order_relaxed);
+      obs::sites::net_conns_open.add(1);
+      conns_.emplace(id, std::move(c));
+    }
+  }
+
+  void close_conn(std::uint64_t id, CloseReason reason) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    testkit::chaos_point("net.conn_close");
+    obs::trace::emit(obs::trace::EventId::kNetConnClose, id,
+                     static_cast<std::uint64_t>(reason));
+    obs::sites::net_conn_close.add();
+    obs::sites::net_conns_open.add(-1);
+    stats_.conns_closed.fetch_add(1, std::memory_order_relaxed);
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, it->second.fd.get(), nullptr);
+    conns_.erase(it);  // Fd destructor closes
+  }
+
+  void handle_event(std::uint64_t id, std::uint32_t events, bool stopping) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      close_conn(id, CloseReason::kError);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) flush_conn(it->second);
+    if ((events & EPOLLIN) != 0) handle_readable(id, stopping);
+  }
+
+  // --- read side: bytes -> frames -> admission ------------------------------
+
+  void handle_readable(std::uint64_t id, bool stopping) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn& c = it->second;
+    bool peer_gone = false;
+    CloseReason close_reason = CloseReason::kEof;
+    unsigned char buf[16 * 1024];
+    while (true) {
+      const long r = read_some(c.fd.get(), buf, sizeof(buf));
+      if (r > 0) {
+        c.rbuf.insert(c.rbuf.end(), buf, buf + r);
+        continue;
+      }
+      if (r == -1) break;  // drained
+      peer_gone = true;
+      close_reason = r == 0 ? CloseReason::kEof : CloseReason::kError;
+      break;
+    }
+
+    // Parse everything buffered — a request the client managed to write
+    // before dying still deserves its admission decision.
+    std::size_t off = 0;
+    while (true) {
+      proto::RequestFrame req;
+      std::size_t consumed = 0;
+      const auto pr = proto::parse_request(c.rbuf.data() + off,
+                                           c.rbuf.size() - off, &req,
+                                           &consumed);
+      if (pr == proto::ParseResult::kNeedMore) break;
+      if (pr == proto::ParseResult::kProtocolError) {
+        obs::sites::net_proto_error.add();
+        stats_.proto_errors.fetch_add(1, std::memory_order_relaxed);
+        close_conn(id, CloseReason::kProtoError);
+        return;
+      }
+      off += consumed;
+      admit(id, req, stopping);
+      if (conns_.find(id) == conns_.end()) return;  // admit killed the conn
+    }
+    c.rbuf.erase(c.rbuf.begin(),
+                 c.rbuf.begin() + static_cast<std::ptrdiff_t>(off));
+    if (peer_gone) close_conn(id, close_reason);
+  }
+
+  void admit(std::uint64_t conn_id, const proto::RequestFrame& req,
+             bool stopping) {
+    testkit::chaos_point("net.request_admit");
+    const std::uint64_t now = proto::now_us();
+    if (stopping) {
+      shed_reply(conn_id, req, proto::kFlagDraining, now);
+      return;
+    }
+    const bool queue_full = queue_.size() >= cfg_.max_inflight;
+    const bool head_stale =
+        !queue_.empty() && now - queue_.front().admit_us > cfg_.max_queue_age_us;
+    if (queue_full || head_stale) {
+      shed_reply(conn_id, req, 0, now);
+      return;
+    }
+    Pending p;
+    p.req = req;
+    p.conn_id = conn_id;
+    p.admit_us = now;
+    const std::uint32_t budget =
+        req.deadline_us != 0 ? req.deadline_us : cfg_.default_deadline_us;
+    if (budget != 0) {
+      const std::uint64_t base = req.send_ts_us != 0 ? req.send_ts_us : now;
+      p.expiry_us = base + budget;
+    }
+    queue_.push_back(p);
+    const auto depth = static_cast<std::uint64_t>(queue_.size());
+    if (depth > stats_.queue_hwm.load(std::memory_order_relaxed)) {
+      stats_.queue_hwm.store(depth, std::memory_order_relaxed);
+    }
+  }
+
+  void shed_reply(std::uint64_t conn_id, const proto::RequestFrame& req,
+                  std::uint16_t extra_flags, std::uint64_t now) {
+    testkit::chaos_point("net.shed");
+    obs::trace::emit(obs::trace::EventId::kNetShed, conn_id, req.request_id);
+    obs::sites::net_shed.add();
+    stats_.shed.fetch_add(1, std::memory_order_relaxed);
+    shed_this_iter_ = true;
+    send_reply(conn_id, req, proto::Status::kShed, 0, extra_flags, now, now);
+  }
+
+  // --- execution ------------------------------------------------------------
+
+  void process_queue() {
+    const bool degraded = map_.near_ceiling(cfg_.degrade_headroom);
+    const std::uint16_t base_flags = degraded ? proto::kFlagDegraded : 0;
+    while (!queue_.empty()) {
+      Pending p = queue_.front();
+      queue_.pop_front();
+      if (conns_.find(p.conn_id) == conns_.end()) continue;  // conn died
+      obs::trace::Span span(obs::trace::EventId::kNetRequestBegin,
+                            obs::trace::EventId::kNetRequestEnd, p.conn_id,
+                            p.req.request_id);
+      const std::uint64_t now = proto::now_us();
+      if (p.expiry_us != 0 && now > p.expiry_us) {
+        testkit::chaos_point("net.deadline_expire");
+        obs::trace::emit(obs::trace::EventId::kNetDeadlineExpire, p.conn_id,
+                         p.req.request_id);
+        obs::sites::net_deadline_expired.add();
+        stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        send_reply(p.conn_id, p.req, proto::Status::kDeadlineExceeded, 0,
+                   base_flags, p.admit_us, now);
+        continue;
+      }
+      testkit::chaos_point("net.request_execute");
+      std::uint64_t value = 0;
+      const proto::Status st = map_.execute(p.req, &value);
+      testkit::chaos_point("net.reply_enqueue");
+      const std::uint64_t done = proto::now_us();
+      obs::sites::net_request_served.add();
+      obs::sites::net_queue_delay_us.record(done - p.admit_us);
+      stats_.served.fetch_add(1, std::memory_order_relaxed);
+      if (base_flags != 0) {
+        obs::sites::net_degraded_replies.add();
+        stats_.degraded_replies.fetch_add(1, std::memory_order_relaxed);
+      }
+      send_reply(p.conn_id, p.req, st, value, base_flags, p.admit_us, done);
+    }
+  }
+
+  // --- write side: replies, flushing, backpressure --------------------------
+
+  void send_reply(std::uint64_t conn_id, const proto::RequestFrame& req,
+                  proto::Status st, std::uint64_t value, std::uint16_t flags,
+                  std::uint64_t admit_us, std::uint64_t now) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    Conn& c = it->second;
+    proto::ReplyFrame rep;
+    rep.status = static_cast<std::uint8_t>(st);
+    rep.op = req.op;
+    rep.flags = flags;
+    rep.request_id = req.request_id;
+    rep.value = value;
+    rep.queue_us = static_cast<std::uint32_t>(now - admit_us);
+    proto::append_frame(c.wbuf, rep);
+    flush_conn(c);
+    // flush_conn never erases, so `c` is still valid here.
+    const auto pending = static_cast<std::uint64_t>(c.pending_bytes());
+    if (pending > stats_.wbuf_hwm_bytes.load(std::memory_order_relaxed)) {
+      stats_.wbuf_hwm_bytes.store(pending, std::memory_order_relaxed);
+    }
+    if (pending > cfg_.write_buf_cap) {
+      testkit::chaos_point("net.backpressure_kill");
+      obs::trace::emit(obs::trace::EventId::kNetBackpressureKill, conn_id,
+                       pending);
+      obs::sites::net_backpressure_kill.add();
+      stats_.backpressure_kills.fetch_add(1, std::memory_order_relaxed);
+      close_conn(conn_id, CloseReason::kBackpressure);
+    }
+  }
+
+  /// Writes as much of the pending wbuf as the kernel accepts; arms or
+  /// disarms EPOLLOUT to match. Never erases the connection (hard write
+  /// errors are left for the EPOLLERR wakeup so callers keep a valid ref).
+  void flush_conn(Conn& c) {
+    if (c.pending_bytes() == 0) return;
+    testkit::chaos_point("net.reply_flush");
+    while (c.pending_bytes() > 0) {
+      const long w =
+          write_some(c.fd.get(), c.wbuf.data() + c.woff, c.pending_bytes());
+      if (w > 0) {
+        c.woff += static_cast<std::size_t>(w);
+        continue;
+      }
+      break;  // -1: kernel full (arm EPOLLOUT); -2: EPOLLERR will fire
+    }
+    if (c.pending_bytes() == 0) {
+      c.wbuf.clear();
+      c.woff = 0;
+      set_want_write(c, false);
+    } else {
+      if (c.woff > 64 * 1024) {  // compact the flushed prefix
+        c.wbuf.erase(c.wbuf.begin(),
+                     c.wbuf.begin() + static_cast<std::ptrdiff_t>(c.woff));
+        c.woff = 0;
+      }
+      set_want_write(c, true);
+    }
+  }
+
+  void set_want_write(Conn& c, bool on) {
+    if (c.want_write == on) return;
+    c.want_write = on;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.data.u64 = c.id;
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+  }
+
+  bool all_flushed() const {
+    for (const auto& [id, c] : conns_) {
+      (void)id;
+      if (c.pending_bytes() != 0) return false;
+    }
+    return true;
+  }
+
+  // --- pressure publication and shutdown ------------------------------------
+
+  void publish_pressure() {
+    open_conns_.store(conns_.size(), std::memory_order_relaxed);
+    // Relaxed stats above are sequenced before this release store; the
+    // acceptor's acquire load pairs with it for least-loaded routing.
+    // [publishes: NET_SHED_FLAG]
+    overloaded_.store(shed_this_iter_, std::memory_order_release);
+  }
+
+  void shutdown() {
+    drain_inbox(/*stopping=*/true);  // close anything adopted post-stop
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, c] : conns_) {
+      (void)c;
+      ids.push_back(id);
+    }
+    for (const std::uint64_t id : ids) {
+      close_conn(id, CloseReason::kShutdown);
+    }
+    testkit::chaos_point("net.shutdown");
+    obs::trace::emit(obs::trace::EventId::kNetShutdown, index_,
+                     stats_.served.load(std::memory_order_relaxed));
+    open_conns_.store(0, std::memory_order_relaxed);
+    // Publishes the final stats to whoever joins the shard thread.
+    drained_.store(true, std::memory_order_release);  // [publishes: NET_DRAIN]
+  }
+
+  ServeMap<Map> map_;
+  ShardConfig cfg_;
+  std::size_t index_;
+  const std::atomic<bool>& stop_;
+
+  Fd epoll_;
+  Fd event_;
+  bool ok_ = false;
+
+  std::mutex inbox_mu_;
+  std::vector<std::pair<int, std::uint64_t>> inbox_;
+
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  std::deque<Pending> queue_;
+  bool shed_this_iter_ = false;
+
+  ShardStats stats_;
+  std::atomic<std::size_t> open_conns_{0};
+  std::atomic<bool> overloaded_{false};
+  std::atomic<bool> drained_{false};
+};
+
+}  // namespace cachetrie::net

@@ -87,4 +87,22 @@ inline Counter chm_transfer_bin{"chm.transfer.bin"};
 inline Counter csl_help_mark{"csl.help_mark"};
 inline Counter csl_cas_retry{"csl.cas.retry"};
 
+// --- net: serving layer (DESIGN.md §4) --------------------------------------
+// The shed/deadline/backpressure triple is the overload-audit surface: a
+// soak run where net.shed stays zero while latency grows means admission
+// control is mis-tuned (queueing instead of shedding).
+inline Counter net_accept{"net.accept"};
+inline Counter net_conn_close{"net.conn.close"};
+inline Counter net_request_served{"net.request.served"};
+inline Counter net_shed{"net.shed"};
+inline Counter net_deadline_expired{"net.deadline_expired"};
+inline Counter net_backpressure_kill{"net.backpressure_kill"};
+inline Counter net_proto_error{"net.proto_error"};
+/// Replies stamped kFlagDegraded (map near its resident ceiling).
+inline Counter net_degraded_replies{"net.degraded_replies"};
+/// Currently open connections across all shards.
+inline Gauge net_conns_open{"net.conns_open"};
+/// Admission-to-execution queueing delay of served requests.
+inline Histogram net_queue_delay_us{"net.queue_delay_us"};
+
 }  // namespace cachetrie::obs::sites

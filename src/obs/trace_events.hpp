@@ -65,6 +65,20 @@ enum class EventId : std::uint16_t {
   kWatchdogViolation,  // a watchdog tick saw zero completed operations
   kLinCheckFail,       // linearizability checker rejected a history
 
+  // --- net: serving layer (DESIGN.md §4). Connection-scoped events carry
+  // the connection id in a0 so trace_summarize.py can build the
+  // per-connection view. Appended after the PR-6 block — indices of
+  // existing events never move. -----------------------------------------
+  kNetAccept,            // connection accepted (a0 = conn id, a1 = shard)
+  kNetConnClose,         // connection closed (a0 = conn id, a1 = reason)
+  kNetRequestBegin,      // span: admission -> reply enqueued
+  kNetRequestEnd,        //   (a0 = conn id, a1 = request id)
+  kNetShed,              // admission control refused (a0 = conn, a1 = req)
+  kNetDeadlineExpire,    // budget ran out pre-execution (a0 = conn, a1 = req)
+  kNetBackpressureKill,  // write buffer over cap (a0 = conn, a1 = buffered)
+  kNetDrain,             // shard entered drain (a0 = shard, a1 = open conns)
+  kNetShutdown,          // shard loop exited (a0 = shard, a1 = served total)
+
   kCount
 };
 
@@ -109,6 +123,15 @@ inline constexpr EventInfo kEventInfo[static_cast<std::size_t>(
     {"testkit.fault.kill", "testkit", 'i'},
     {"testkit.watchdog.violation", "testkit", 'i'},
     {"testkit.lin_check.fail", "testkit", 'i'},
+    {"net.accept", "net", 'i'},
+    {"net.conn.close", "net", 'i'},
+    {"net.request", "net", 'B'},
+    {"net.request", "net", 'E'},
+    {"net.shed", "net", 'i'},
+    {"net.deadline_expire", "net", 'i'},
+    {"net.backpressure_kill", "net", 'i'},
+    {"net.drain", "net", 'i'},
+    {"net.shutdown", "net", 'i'},
 };
 
 constexpr const EventInfo& event_info(EventId id) noexcept {
@@ -119,5 +142,8 @@ constexpr const EventInfo& event_info(EventId id) noexcept {
 static_assert(event_info(EventId::kMrStallDeclare).phase == 'i');
 static_assert(event_info(EventId::kChmBinLockBegin).phase == 'B');
 static_assert(event_info(EventId::kChmBinLockEnd).phase == 'E');
+static_assert(event_info(EventId::kNetRequestBegin).phase == 'B');
+static_assert(event_info(EventId::kNetRequestEnd).phase == 'E');
+static_assert(event_info(EventId::kNetShutdown).phase == 'i');
 
 }  // namespace cachetrie::obs::trace

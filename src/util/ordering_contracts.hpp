@@ -90,7 +90,19 @@
   X(TK_FAULT_PLAN,    "fault-plan store publishes the armed PlanState to "   \
                       "every fault_point")                                   \
   X(TK_WATCHDOG_STOP, "stop store publishes the shutdown request to the "    \
-                      "watchdog thread")
+                      "watchdog thread")                                     \
+  /* --- net (serving layer, DESIGN.md §4) --- */                            \
+  X(NET_REPLY_PUBLISH,"client slot: receiver's done-word store(release) "    \
+                      "publishes the reply payload (status/value/flags, "    \
+                      "relaxed stores sequenced before it) to the waiter's " \
+                      "done-word load(acquire)")                             \
+  X(NET_SHED_FLAG,    "shard overload flag store(release) publishes the "    \
+                      "relaxed pressure counters behind it to the "          \
+                      "acceptor's load(acquire) for least-loaded routing")   \
+  X(NET_DRAIN,        "server stop store(release) publishes the drain "      \
+                      "request to every shard loop; each shard's drained "   \
+                      "store(release) publishes its final stats back to "    \
+                      "the joiner")
 // clang-format on
 
 namespace cachetrie::util {

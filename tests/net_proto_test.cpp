@@ -1,0 +1,269 @@
+// net_proto_test.cpp — serving-layer unit coverage that needs no fault
+// engine: wire-format round trips and stream discipline (proto.hpp), the
+// retry backoff curve (client.hpp), the op dispatch of the map adapter
+// (serve_map.hpp), and one end-to-end loopback serve pass. The end-to-end
+// test lives here, in the fast label, deliberately: check.sh runs `fast`
+// under ASan while the `net` fault label is plain+tsan only (killed-victim
+// tests leak by design), so this is the pass that sweeps the reactor,
+// shard, and client under ASan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cachetrie/evict.hpp"
+#include "net/client.hpp"
+#include "net/proto.hpp"
+#include "net/reactor.hpp"
+#include "net/serve_map.hpp"
+
+namespace {
+
+namespace net = cachetrie::net;
+namespace proto = cachetrie::net::proto;
+using BoundedTrie = cachetrie::evict::BoundedCacheTrie<std::uint64_t,
+                                                       std::uint64_t>;
+
+TEST(NetProto, RequestRoundTrip) {
+  proto::RequestFrame req;
+  req.op = static_cast<std::uint8_t>(proto::Op::kPut);
+  req.request_id = 42;
+  req.key = 7;
+  req.value = 99;
+  req.send_ts_us = 123456;
+  req.deadline_us = 5000;
+
+  std::vector<unsigned char> wire;
+  proto::append_frame(wire, req);
+  ASSERT_EQ(wire.size(), proto::kRequestWire);
+
+  proto::RequestFrame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(proto::parse_request(wire.data(), wire.size(), &out, &consumed),
+            proto::ParseResult::kFrame);
+  EXPECT_EQ(consumed, proto::kRequestWire);
+  EXPECT_EQ(out.op, req.op);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.key, 7u);
+  EXPECT_EQ(out.value, 99u);
+  EXPECT_EQ(out.send_ts_us, 123456u);
+  EXPECT_EQ(out.deadline_us, 5000u);
+}
+
+TEST(NetProto, ReplyRoundTrip) {
+  proto::ReplyFrame rep;
+  rep.status = static_cast<std::uint8_t>(proto::Status::kShed);
+  rep.flags = proto::kFlagDegraded | proto::kFlagDraining;
+  rep.request_id = 17;
+  rep.value = 3;
+  rep.queue_us = 250;
+
+  std::vector<unsigned char> wire;
+  proto::append_frame(wire, rep);
+  ASSERT_EQ(wire.size(), proto::kReplyWire);
+
+  proto::ReplyFrame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(proto::parse_reply(wire.data(), wire.size(), &out, &consumed),
+            proto::ParseResult::kFrame);
+  EXPECT_EQ(static_cast<proto::Status>(out.status), proto::Status::kShed);
+  EXPECT_EQ(out.flags, proto::kFlagDegraded | proto::kFlagDraining);
+  EXPECT_EQ(out.request_id, 17u);
+  EXPECT_EQ(out.queue_us, 250u);
+}
+
+TEST(NetProto, TruncatedStreamNeedsMore) {
+  proto::RequestFrame req;
+  std::vector<unsigned char> wire;
+  proto::append_frame(wire, req);
+  proto::RequestFrame out;
+  std::size_t consumed = 0;
+  // Every strict prefix of a frame parses as kNeedMore, never as an error.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_EQ(proto::parse_request(wire.data(), n, &out, &consumed),
+              proto::ParseResult::kNeedMore)
+        << "prefix " << n;
+  }
+}
+
+TEST(NetProto, TwoFramesParseBackToBack) {
+  proto::RequestFrame a, b;
+  a.request_id = 1;
+  b.request_id = 2;
+  std::vector<unsigned char> wire;
+  proto::append_frame(wire, a);
+  proto::append_frame(wire, b);
+
+  proto::RequestFrame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(proto::parse_request(wire.data(), wire.size(), &out, &consumed),
+            proto::ParseResult::kFrame);
+  EXPECT_EQ(out.request_id, 1u);
+  ASSERT_EQ(proto::parse_request(wire.data() + consumed,
+                                 wire.size() - consumed, &out, &consumed),
+            proto::ParseResult::kFrame);
+  EXPECT_EQ(out.request_id, 2u);
+}
+
+TEST(NetProto, BadMagicAndBadLengthAreProtocolErrors) {
+  proto::RequestFrame req;
+  std::vector<unsigned char> wire;
+  proto::append_frame(wire, req);
+
+  auto corrupted = wire;
+  corrupted[proto::kLenPrefix] ^= 0xff;  // first magic byte
+  proto::RequestFrame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(proto::parse_request(corrupted.data(), corrupted.size(), &out,
+                                 &consumed),
+            proto::ParseResult::kProtocolError);
+
+  auto huge = wire;
+  huge[0] = 0xff;  // length prefix now absurd — must not buffer 4 GiB
+  huge[3] = 0xff;
+  EXPECT_EQ(proto::parse_request(huge.data(), huge.size(), &out, &consumed),
+            proto::ParseResult::kProtocolError);
+}
+
+TEST(NetClient, BackoffCurveIsCappedExponentialWithJitter) {
+  // Zero jitter word: exactly half the exponential step.
+  EXPECT_EQ(net::retry_backoff_us(0, 200, 50'000, 0), 100u);
+  EXPECT_EQ(net::retry_backoff_us(1, 200, 50'000, 0), 200u);
+  EXPECT_EQ(net::retry_backoff_us(2, 200, 50'000, 0), 400u);
+  // Cap: huge attempts saturate at cap/2 + jitter%(cap/2) < cap.
+  for (std::size_t a = 0; a < 64; ++a) {
+    const std::uint64_t d = net::retry_backoff_us(a, 200, 50'000, 0x123456);
+    EXPECT_LT(d, 50'000u);
+  }
+  // Jitter moves the delay but stays within [half, full).
+  const std::uint64_t j = net::retry_backoff_us(3, 200, 50'000, 777);
+  EXPECT_GE(j, 800u);
+  EXPECT_LT(j, 1600u);
+  // Degenerate base: no sleep.
+  EXPECT_EQ(net::retry_backoff_us(5, 0, 50'000, 999), 0u);
+}
+
+TEST(NetServeMap, DispatchesOpsAndSensesCeiling) {
+  cachetrie::evict::BoundedConfig cfg;
+  cfg.ceiling_bytes = 1u << 20;
+  BoundedTrie map{cfg};
+  net::ServeMap<BoundedTrie> sm{map};
+
+  proto::RequestFrame req;
+  std::uint64_t v = 0;
+
+  req.op = static_cast<std::uint8_t>(proto::Op::kPut);
+  req.key = 5;
+  req.value = 50;
+  EXPECT_EQ(sm.execute(req, &v), proto::Status::kOk);
+
+  req.op = static_cast<std::uint8_t>(proto::Op::kGet);
+  EXPECT_EQ(sm.execute(req, &v), proto::Status::kOk);
+  EXPECT_EQ(v, 50u);
+
+  req.op = static_cast<std::uint8_t>(proto::Op::kRemoveIfEquals);
+  req.value = 49;  // wrong expected value
+  EXPECT_EQ(sm.execute(req, &v), proto::Status::kNotFound);
+  req.value = 50;
+  EXPECT_EQ(sm.execute(req, &v), proto::Status::kOk);
+
+  req.op = static_cast<std::uint8_t>(proto::Op::kRemove);
+  EXPECT_EQ(sm.execute(req, &v), proto::Status::kNotFound);
+
+  req.op = 0xee;  // unknown op — reply, don't kill the connection
+  EXPECT_EQ(sm.execute(req, &v), proto::Status::kBadRequest);
+
+  EXPECT_FALSE(sm.near_ceiling(0.9));
+  EXPECT_GT(sm.resident_headroom_bytes(), 0u);
+}
+
+// One full serve pass over a real loopback socket: every op, both outcome
+// statuses, bad-request survival, and a clean drain. This is the ASan
+// sweep of the reactor (see file comment).
+TEST(NetServe, EndToEndBasics) {
+  cachetrie::evict::BoundedConfig bcfg;
+  bcfg.ceiling_bytes = 8u << 20;
+  BoundedTrie map{bcfg};
+
+  net::ServerConfig scfg;
+  scfg.shards = 2;
+  net::Server<BoundedTrie> server{map, scfg};
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.start());
+
+  {
+    net::Client client{server.port()};
+    ASSERT_TRUE(client.ok());
+
+    EXPECT_EQ(client.get(1).status, proto::Status::kNotFound);
+    EXPECT_TRUE(client.put(1, 100).ok());
+    const auto g = client.get(1);
+    EXPECT_TRUE(g.ok());
+    EXPECT_EQ(g.value, 100u);
+    EXPECT_EQ(client.remove_if_equals(1, 99).status,
+              proto::Status::kNotFound);
+    EXPECT_TRUE(client.remove_if_equals(1, 100).ok());
+    EXPECT_EQ(client.remove(1).status, proto::Status::kNotFound);
+    EXPECT_TRUE(client.ping(7).ok());
+
+    // An unknown op draws kBadRequest and the connection keeps working.
+    std::uint64_t id = 0;
+    ASSERT_TRUE(client.send(static_cast<proto::Op>(0x7e), 0, 0, &id, 0));
+    EXPECT_EQ(client.wait(id).status, proto::Status::kBadRequest);
+    EXPECT_TRUE(client.ping(8).ok());
+
+    // The map the server serves is the caller's map.
+    EXPECT_TRUE(client.put(2, 222).ok());
+    EXPECT_EQ(map.lookup(2).value_or(0), 222u);
+  }
+
+  server.stop();
+  const auto totals = server.totals();
+  EXPECT_GE(totals.served, 10u);
+  EXPECT_EQ(totals.proto_errors, 0u);
+  EXPECT_EQ(server.killed_shards(), 0u);
+  EXPECT_EQ(totals.conns_adopted, totals.conns_closed);
+  EXPECT_TRUE(map.underlying().debug_validate().empty());
+}
+
+// Multiple client threads through one server, each on its own connection —
+// the shard-per-core claim is that this needs no cross-shard coordination.
+TEST(NetServe, ConcurrentClients) {
+  BoundedTrie map{{}};
+  net::ServerConfig scfg;
+  scfg.shards = 2;
+  net::Server<BoundedTrie> server{map, scfg};
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.start());
+
+  constexpr std::size_t kThreads = 3;
+  constexpr std::uint64_t kOps = 200;
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> failures{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      net::Client c{server.port()};
+      if (!c.ok()) {
+        failures.fetch_add(1000);
+        return;
+      }
+      const std::uint64_t base = (t + 1) << 20;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        if (!c.put(base + i, i).ok()) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        const auto r = c.get(base + i);
+        if (!r.ok() || r.value != i) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  server.stop();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(map.size(), kThreads * kOps);
+  EXPECT_TRUE(map.underlying().debug_validate().empty());
+}
+
+}  // namespace
