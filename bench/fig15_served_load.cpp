@@ -33,6 +33,7 @@
 // escape write_buf_cap + one frame — the backpressure invariant.
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -45,6 +46,9 @@
 #include "net/client.hpp"
 #include "net/proto.hpp"
 #include "net/reactor.hpp"
+#include "obs/latency.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 
 namespace {
 
@@ -391,6 +395,11 @@ int main() {
 
   server.stop();
   const auto totals = server.totals();
+  // Per-phase decomposition of every served request's shard-side lifetime
+  // (PhaseLatency, shard.hpp), merged over both shards — valid to read now
+  // that stop() joined the shard threads. Each phase lands as gated
+  // p50-p999 stat cells so a tail regression names the phase that moved.
+  const net::PhaseLatency phases = server.phase_latency();
   table.print();
   std::printf(
       "\nserver totals: served=%llu shed=%llu deadline=%llu "
@@ -405,6 +414,38 @@ int main() {
       static_cast<unsigned long long>(totals.queue_hwm),
       static_cast<unsigned long long>(totals.degraded_replies));
   bench::ReclaimSnapshot::take().print_delta(reclaim0, "fig15 load");
+
+  // Phase histograms are in us; cells convert to ns to match every other
+  // latency cell. One merged distribution over the whole run, so the
+  // stddev the gate sees is 0 (the gate treats that as "no noise floor",
+  // which is right: these are exact per-request stamps, not timer reps).
+  const auto phase_summary = [](const cachetrie::obs::LatencyHistogram& h) {
+    const auto q = [&h](double p) {
+      const double ns = h.quantile(p) * 1e3;
+      return LatencyQuantile{ns, 0.0, ns, ns};
+    };
+    LatencySummary ls;
+    ls.p50 = q(0.50);
+    ls.p90 = q(0.90);
+    ls.p99 = q(0.99);
+    ls.p999 = q(0.999);
+    ls.ops_per_pass = h.count();
+    ls.passes = 1;
+    return ls;
+  };
+  const std::pair<const char*, const cachetrie::obs::LatencyHistogram*>
+      phase_cells[] = {{"queue", &phases.queue},
+                       {"execute", &phases.execute},
+                       {"flush", &phases.flush},
+                       {"total", &phases.total}};
+  std::printf("\nphase decomposition (us, all served requests):\n");
+  for (const auto& [name, hist] : phase_cells) {
+    report.add_latency("served_phase", {{"op", name}}, phase_summary(*hist));
+    std::printf("  %-8s n=%llu  p50 %.1f  p90 %.1f  p99 %.1f  p999 %.1f\n",
+                name, static_cast<unsigned long long>(hist->count()),
+                hist->quantile(0.50), hist->quantile(0.90),
+                hist->quantile(0.99), hist->quantile(0.999));
+  }
 
   std::printf(
       "\nexpected shape: steady p99 in the low hundreds of us on an idle\n"
@@ -436,6 +477,32 @@ int main() {
   if (!map.underlying().debug_validate().empty()) {
     ok = false;
     std::fprintf(stderr, "FAIL: served map failed debug_validate\n");
+  }
+  // Phase self-consistency: per request the stamps reuse the serving path's
+  // own clock reads, so queue + execute + flush == total exactly; at the
+  // histogram level the p50s must still agree within 10% (plus a small
+  // absolute floor for bucket interpolation — sub-bucket error is ~1/16).
+  const double sum_p50 = phases.queue.quantile(0.50) +
+                         phases.execute.quantile(0.50) +
+                         phases.flush.quantile(0.50);
+  const double total_p50 = phases.total.quantile(0.50);
+  const double tol_us = std::max(0.10 * total_p50, 5.0);
+  if (phases.total.count() == 0) {
+    ok = false;
+    std::fprintf(stderr, "FAIL: no served request completed a flush stamp\n");
+  } else if (std::abs(sum_p50 - total_p50) > tol_us) {
+    ok = false;
+    std::fprintf(stderr,
+                 "FAIL: phase p50s (%.1f + %.1f + %.1f = %.1f us) drifted "
+                 "from total p50 %.1f us by more than %.1f us\n",
+                 phases.queue.quantile(0.50), phases.execute.quantile(0.50),
+                 phases.flush.quantile(0.50), sum_p50, total_p50, tol_us);
+  }
+
+  // Post-run flight-recorder dump: check.sh's plain stage runs the
+  // phase-attribution summarizer view over this file.
+  if (cachetrie::obs::trace::enabled()) {
+    cachetrie::obs::trace::dump_to_file("fig15_served_load");
   }
 
   const int report_rc = bench::finish_report(report);

@@ -78,8 +78,30 @@ run_stage() {
     "${env_prefix[@]}" env CACHETRIE_TRACE_OUT="$trace_out" \
       ctest --test-dir "$dir" -L trace --output-on-failure -j 1
     if [ "$stage" = plain ]; then
-      echo "=== [$stage] trace_summarize smoke ==="
-      python3 "$repo/scripts/trace_summarize.py" --top 5 "$trace_out"/TRACE_*.json
+      echo "=== [$stage] trace_summarize smoke (strict) ==="
+      # --strict: an event name missing from the summarizer's KNOWN_EVENTS
+      # table (drift vs trace_events.hpp) fails the stage instead of
+      # scrolling by as a warning.
+      python3 "$repo/scripts/trace_summarize.py" --strict --top 5 \
+        "$trace_out"/TRACE_*.json
+      echo "=== [$stage] fig15 phase-attribution trace smoke ==="
+      # Flip benches on in the same tree (cache update; only fig15 and its
+      # objects build), run the served-load bench with the flight recorder
+      # live, and smoke the summarizer's tail-attribution view over the
+      # dump — stdlib only, non-zero exit on a malformed dump, and the
+      # view itself must be present.
+      cmake -B "$dir" -S "$repo" -DCACHETRIE_BUILD_BENCH=ON >/dev/null
+      cmake --build "$dir" -j "$jobs" --target fig15_served_load >/dev/null
+      (cd "$dir" && env CACHETRIE_TRACE_ENABLE=1 \
+        CACHETRIE_TRACE_OUT="$trace_out" CACHETRIE_TRACE_RING=65536 \
+        ./bench/fig15_served_load >/dev/null)
+      python3 "$repo/scripts/trace_summarize.py" --strict --top 5 \
+        "$trace_out/TRACE_fig15_served_load.json" \
+        | tee "$trace_out/fig15_phase_view.txt"
+      grep -q "tail attribution" "$trace_out/fig15_phase_view.txt" || {
+        echo "FAIL: fig15 dump produced no tail-attribution view" >&2
+        exit 1
+      }
     fi
   fi
 }

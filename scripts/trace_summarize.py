@@ -76,6 +76,11 @@ KNOWN_EVENTS = frozenset({
     "net.backpressure_kill",
     "net.drain",
     "net.shutdown",
+    "net.req.parsed",
+    "net.req.admitted",
+    "net.req.dequeued",
+    "net.req.execute",
+    "net.req.flushed",
 })
 
 
@@ -201,6 +206,80 @@ def connection_view(events, spans, top):
               f"  bp_kill {r['bp_kill']}  close {close}")
 
 
+# Request-phase lifecycle stamps (PR-9 block of trace_events.hpp): every
+# one carries (a0=conn id, a1=request id), the join key of the phase view.
+PHASE_EVENTS = frozenset({
+    "net.req.parsed", "net.req.admitted", "net.req.dequeued",
+    "net.req.execute", "net.req.flushed",
+})
+
+
+def phase_view(events, spans, top):
+    """Tail attribution: for the slowest decile of net.request spans, which
+    phase — queue (admitted->dequeued), execute (execute B->E), or flush
+    (execute E->flushed) — dominated the request. Stamps join per request
+    on (a0=conn id, a1=request id). Prints nothing when the dump carries no
+    phase stamps (pre-PR-9 dumps, or non-serving workloads)."""
+    stamps = {}
+    for ev in events:
+        name = ev.get("name")
+        if name not in PHASE_EVENTS:
+            continue
+        args = ev.get("args", {})
+        if "a0" not in args or "a1" not in args:
+            continue
+        rec = stamps.setdefault((args["a0"], args["a1"]), {})
+        if name == "net.req.execute":
+            rec["exec_b" if ev.get("ph") == "B" else "exec_e"] = ev.get("ts", 0)
+        else:
+            rec[name.rsplit(".", 1)[-1]] = ev.get("ts", 0)
+    if not stamps:
+        return
+
+    reqs = []
+    for dur, name, _tid, _start, args in spans:
+        if name != "net.request" or "a0" not in args or "a1" not in args:
+            continue
+        reqs.append((dur, (args["a0"], args["a1"])))
+    if not reqs:
+        return
+    reqs.sort(key=lambda s: -s[0])
+    slow = reqs[:max(1, len(reqs) // 10)]
+
+    needed = {"admitted", "dequeued", "exec_b", "exec_e", "flushed"}
+    rows = []
+    dominated = {"queue": 0, "execute": 0, "flush": 0}
+    skipped = 0
+    for dur, key in slow:
+        rec = stamps.get(key)
+        if rec is None or not needed <= rec.keys():
+            skipped += 1  # some stamps scrolled out of the ring
+            continue
+        phases = {
+            "queue": rec["dequeued"] - rec["admitted"],
+            "execute": rec["exec_e"] - rec["exec_b"],
+            "flush": rec["flushed"] - rec["exec_e"],
+        }
+        dom = max(phases, key=phases.get)
+        dominated[dom] += 1
+        rows.append((dur, key, phases, dom))
+
+    print(f"  tail attribution (slowest decile: {len(slow)} of {len(reqs)} "
+          f"net.request spans"
+          + (f", {skipped} without full stamps" if skipped else "") + "):")
+    if not rows:
+        print("    no slow-decile request carries a full stamp set "
+              "(ring overwrite?)")
+        return
+    for ph in ("queue", "execute", "flush"):
+        share = 100.0 * dominated[ph] / len(rows)
+        print(f"    dominated by {ph:<8} {dominated[ph]:>6}  ({share:.1f}%)")
+    for dur, key, phases, dom in rows[:top]:
+        print(f"    {dur:>10.1f} us  conn {key[0]} req {key[1]}  "
+              f"queue {phases['queue']:.1f}  execute {phases['execute']:.1f}"
+              f"  flush {phases['flush']:.1f}  -> {dom}")
+
+
 def summarize(path, top):
     doc = load(path)
     other = doc.get("otherData", {})
@@ -219,7 +298,11 @@ def summarize(path, top):
     unknown = []
     for name, stamps in sorted(by_name.items(),
                                key=lambda kv: (-len(kv[1]), kv[0])):
-        tag = "" if name in KNOWN_EVENTS else " [?]"
+        # The exporter demotes an 'E' whose 'B' scrolled out of the ring to
+        # an instant named "<name> (unmatched)" — an overwrite artifact of a
+        # known event, not namespace drift.
+        base = name.removesuffix(" (unmatched)")
+        tag = "" if base in KNOWN_EVENTS else " [?]"
         line = f"    {name + tag:<34} {len(stamps):>7}"
         stats = gap_stats(stamps)
         if stats is not None:
@@ -227,7 +310,7 @@ def summarize(path, top):
             line += (f"   gap us min/mean/max "
                      f"{lo:.1f}/{mean:.1f}/{hi:.1f}")
         print(line)
-        if name not in KNOWN_EVENTS:
+        if base not in KNOWN_EVENTS:
             unknown.append(name)
     if unknown:
         print(f"  WARNING: {len(unknown)} event name(s) not in the known "
@@ -247,6 +330,8 @@ def summarize(path, top):
               (f" ({open_spans} still open)" if open_spans else ""))
 
     connection_view(events, spans, top)
+    phase_view(events, spans, top)
+    return len(unknown)
 
 
 def main():
@@ -255,11 +340,21 @@ def main():
     ap.add_argument("traces", nargs="+", help="TRACE_*.json files")
     ap.add_argument("--top", type=int, default=10,
                     help="how many longest spans to print (default 10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 2 if any event name is missing from the "
+                         "known-event table (CI mode: event-table drift "
+                         "fails instead of scrolling by as a warning)")
     args = ap.parse_args()
+    drifted = 0
     for i, path in enumerate(args.traces):
         if i:
             print()
-        summarize(path, args.top)
+        drifted += summarize(path, args.top)
+    if args.strict and drifted:
+        print(f"trace_summarize: --strict: {drifted} unknown event name(s) — "
+              f"update KNOWN_EVENTS to match trace_events.hpp",
+              file=sys.stderr)
+        return 2
     return 0
 
 

@@ -22,7 +22,10 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/proto.hpp"
@@ -107,6 +110,57 @@ class Client {
   }
   Result ping(std::uint64_t token = 0) {
     return call(proto::Op::kPing, 0, token);
+  }
+
+  // --- introspection API (DESIGN.md §4) -------------------------------------
+
+  /// A kStats reply: the server-side metrics snapshot plus the serving
+  /// shard's interval delta, as the JSON the wire carried.
+  struct StatsResult {
+    proto::Status status = proto::Status::kClosed;
+    std::uint16_t flags = 0;
+    std::string json;
+
+    bool ok() const noexcept { return status == proto::Status::kOk; }
+  };
+
+  /// Pulls a live stats snapshot. A kStats request rides the same admission
+  /// queue as data ops, so it can be shed under overload — retried with the
+  /// same jittered backoff as call().
+  StatsResult stats() {
+    for (std::size_t attempt = 0;; ++attempt) {
+      std::uint64_t id = 0;
+      if (!send(proto::Op::kStats, 0, 0, &id, cfg_.deadline_us)) {
+        return StatsResult{proto::Status::kSendFailed, 0, {}};
+      }
+      const Result r = wait(id);
+      StatsResult out;
+      out.status = r.status;
+      out.flags = r.flags;
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        auto it = stats_payloads_.find(id);
+        if (it != stats_payloads_.end()) {
+          out.json = std::move(it->second);
+          stats_payloads_.erase(it);
+        }
+      }
+      if (r.status != proto::Status::kShed || attempt >= cfg_.max_retries) {
+        return out;
+      }
+      const std::uint64_t delay = retry_backoff_us(
+          attempt, cfg_.retry_base_us, cfg_.retry_cap_us, next_jitter());
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+    }
+  }
+
+  /// Flips the server's flight recorder or triggers a dump (proto::TraceCtl).
+  /// The reply's value echoes the resulting recorder state (0/1), or for
+  /// kDump whether a dump file was written.
+  Result trace_ctl(proto::TraceCtl action) {
+    return call(proto::Op::kTraceCtl, 0, static_cast<std::uint64_t>(action));
   }
 
   /// One operation, retried under jittered exponential backoff while the
@@ -216,7 +270,8 @@ class Client {
   void receive_loop() {
     std::vector<unsigned char> buf;
     unsigned char chunk[16 * 1024];
-    while (true) {
+    bool proto_error = false;
+    while (!proto_error) {
       const long r = read_some(fd_.get(), chunk, sizeof(chunk));
       if (r == -1) continue;  // blocking socket: only under SO_RCVTIMEO
       if (r <= 0) break;      // EOF or hard error
@@ -224,19 +279,43 @@ class Client {
       std::size_t off = 0;
       while (true) {
         proto::ReplyFrame rep;
+        proto::StatsReplyHeader stats;
+        const unsigned char* payload = nullptr;
+        bool is_stats = false;
         std::size_t consumed = 0;
-        const auto pr = proto::parse_reply(buf.data() + off,
-                                           buf.size() - off, &rep, &consumed);
-        if (pr != proto::ParseResult::kFrame) break;
+        const auto pr = proto::parse_reply_stream(
+            buf.data() + off, buf.size() - off, &rep, &stats, &payload,
+            &is_stats, &consumed);
+        if (pr == proto::ParseResult::kNeedMore) break;
+        if (pr == proto::ParseResult::kProtocolError) {
+          // Framing is lost — no later byte can be trusted. Sever the
+          // connection (waiters unblock with kClosed) instead of scanning
+          // a corrupt stream forever.
+          ::shutdown(fd_.get(), SHUT_RDWR);
+          proto_error = true;
+          break;
+        }
         off += consumed;
-        Slot& s = slot(rep.request_id);
-        s.status.store(rep.status, std::memory_order_relaxed);
-        s.flags.store(rep.flags, std::memory_order_relaxed);
-        s.value.store(rep.value, std::memory_order_relaxed);
-        s.queue_us.store(rep.queue_us, std::memory_order_relaxed);
+        if (is_stats) {
+          // Payload lands in the side table before the done-word release
+          // below, so a stats() waiter that observes done also sees it.
+          std::lock_guard<std::mutex> lk(stats_mu_);
+          stats_payloads_[stats.request_id].assign(
+              reinterpret_cast<const char*>(payload), stats.payload_len);
+        }
+        const std::uint64_t req_id =
+            is_stats ? stats.request_id : rep.request_id;
+        Slot& s = slot(req_id);
+        s.status.store(is_stats ? stats.status : rep.status,
+                       std::memory_order_relaxed);
+        s.flags.store(is_stats ? stats.flags : rep.flags,
+                      std::memory_order_relaxed);
+        s.value.store(is_stats ? 0 : rep.value, std::memory_order_relaxed);
+        s.queue_us.store(is_stats ? 0 : rep.queue_us,
+                         std::memory_order_relaxed);
         // Publishes the relaxed payload stores above to poll()'s acquire.
         // [publishes: NET_REPLY_PUBLISH]
-        s.done.store(rep.request_id, std::memory_order_release);
+        s.done.store(req_id, std::memory_order_release);
       }
       buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(off));
     }
@@ -251,6 +330,13 @@ class Client {
   std::vector<Slot> slots_;
   std::thread receiver_;
   std::atomic<bool> closed_{false};
+  // Variable-length stats payloads, keyed by request id: the Slot table
+  // carries only fixed fields, so the JSON rides on the side. stats()
+  // erases its entry after wait(); an entry whose waiter timed out first
+  // lingers until a later stats() reuses the id's slot — bounded by the
+  // number of abandoned stats calls, which the sync API keeps at zero.
+  std::mutex stats_mu_;
+  std::unordered_map<std::uint64_t, std::string> stats_payloads_;
 };
 
 }  // namespace cachetrie::net

@@ -168,6 +168,15 @@ class Server {
     return t;
   }
 
+  /// Merged per-phase latency decomposition over all shards. Exact after
+  /// stop() (the shard threads are joined); mid-run it races the shard
+  /// threads' plain histograms — call it only post-drain.
+  PhaseLatency phase_latency() const {
+    PhaseLatency merged;
+    for (const auto& sh : shards_) merged.merge(sh->phase_latency());
+    return merged;
+  }
+
  private:
   void accept_loop() {
     std::uint64_t next_conn_id = 1;  // 0 is each shard's eventfd sentinel

@@ -61,6 +61,12 @@ class ServeMap {
       case proto::Op::kPing:
         *value_out = req.value;
         return proto::Status::kOk;
+      case proto::Op::kStats:
+      case proto::Op::kTraceCtl:
+        // Introspection ops are intercepted by the shard before execute()
+        // (shard.hpp owns the registry differ and the write buffer); one
+        // reaching a bare ServeMap is a caller error.
+        break;
     }
     return proto::Status::kBadRequest;
   }

@@ -45,6 +45,8 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <sstream>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -52,8 +54,11 @@
 #include "net/proto.hpp"
 #include "net/serve_map.hpp"
 #include "net/socket.hpp"
+#include "obs/interval.hpp"
 #include "obs/inventory.hpp"
+#include "obs/latency.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "testkit/chaos.hpp"
 
 namespace cachetrie::net {
@@ -93,6 +98,29 @@ struct ShardStats {
   std::atomic<std::uint64_t> degraded_replies{0};
   std::atomic<std::uint64_t> wbuf_hwm_bytes{0};  // max pending reply bytes
   std::atomic<std::uint64_t> queue_hwm{0};       // max pending-queue depth
+};
+
+/// Per-shard phase decomposition of served latency (DESIGN.md §4): the
+/// three phases partition a request's shard-side lifetime exactly —
+/// queue (admission -> dequeued-for-execution), execute (map op or
+/// introspection build), flush (reply enqueued -> last byte accepted by
+/// the kernel) — and every stamp reuses a clock value the serving path
+/// already reads, so queue + execute + flush == total per request by
+/// construction (fig15 asserts the histogram-level version of this).
+/// Plain histograms: written by the shard thread alone, read after the
+/// NET_DRAIN join edge.
+struct PhaseLatency {
+  obs::LatencyHistogram queue;
+  obs::LatencyHistogram execute;
+  obs::LatencyHistogram flush;
+  obs::LatencyHistogram total;
+
+  void merge(const PhaseLatency& o) noexcept {
+    queue.merge(o.queue);
+    execute.merge(o.execute);
+    flush.merge(o.flush);
+    total.merge(o.total);
+  }
 };
 
 template <typename Map>
@@ -144,6 +172,9 @@ class Shard {
   }
 
   const ShardStats& stats() const noexcept { return stats_; }
+  /// Valid to read after drained() observes true (the NET_DRAIN edge) or
+  /// after the shard thread is joined; mid-run reads race the shard thread.
+  const PhaseLatency& phase_latency() const noexcept { return phase_; }
   bool drained() const noexcept {
     return drained_.load(std::memory_order_acquire);  // [acquires: NET_DRAIN]
   }
@@ -191,6 +222,20 @@ class Shard {
   }
 
  private:
+  /// One served reply awaiting its flush stamp: when the connection's
+  /// flushed-byte counter reaches end_offset, this reply's last byte was
+  /// accepted by the kernel and the request enters the phase histograms.
+  /// All four phases are recorded then, from the stamps carried here, so
+  /// the histograms cover one identical population (requests whose reply
+  /// actually left) and per request queue + execute + flush == total.
+  struct ReplyMark {
+    std::uint64_t end_offset = 0;   // absolute reply-stream position
+    std::uint64_t request_id = 0;
+    std::uint64_t admit_us = 0;
+    std::uint64_t exec_begin_us = 0;
+    std::uint64_t exec_end_us = 0;
+  };
+
   struct Conn {
     Fd fd;
     std::uint64_t id = 0;
@@ -198,6 +243,11 @@ class Shard {
     std::vector<unsigned char> wbuf;
     std::size_t woff = 0;  // flushed prefix of wbuf
     bool want_write = false;
+    // Absolute positions in the connection's reply stream — monotone even
+    // as wbuf itself is cleared/compacted, so ReplyMark offsets stay valid.
+    std::uint64_t enqueued_bytes = 0;
+    std::uint64_t flushed_bytes = 0;
+    std::deque<ReplyMark> marks;
 
     std::size_t pending_bytes() const noexcept { return wbuf.size() - woff; }
   };
@@ -304,6 +354,7 @@ class Shard {
         return;
       }
       off += consumed;
+      obs::trace::emit(obs::trace::EventId::kNetReqParsed, id, req.request_id);
       admit(id, req, stopping);
       if (conns_.find(id) == conns_.end()) return;  // admit killed the conn
     }
@@ -338,6 +389,8 @@ class Shard {
       p.expiry_us = base + budget;
     }
     queue_.push_back(p);
+    obs::trace::emit(obs::trace::EventId::kNetReqAdmitted, conn_id,
+                     req.request_id);
     const auto depth = static_cast<std::uint64_t>(queue_.size());
     if (depth > stats_.queue_hwm.load(std::memory_order_relaxed)) {
       stats_.queue_hwm.store(depth, std::memory_order_relaxed);
@@ -377,27 +430,122 @@ class Shard {
                    base_flags, p.admit_us, now);
         continue;
       }
+      obs::trace::emit(obs::trace::EventId::kNetReqDequeued, p.conn_id,
+                       p.req.request_id);
+      const auto op = static_cast<proto::Op>(p.req.op);
+      if (op == proto::Op::kStats || op == proto::Op::kTraceCtl) {
+        execute_introspection(p, op, base_flags, now);
+        continue;
+      }
       testkit::chaos_point("net.request_execute");
       std::uint64_t value = 0;
-      const proto::Status st = map_.execute(p.req, &value);
+      proto::Status st;
+      {
+        obs::trace::Span exec(obs::trace::EventId::kNetExecuteBegin,
+                              obs::trace::EventId::kNetExecuteEnd, p.conn_id,
+                              p.req.request_id);
+        st = map_.execute(p.req, &value);
+      }
       testkit::chaos_point("net.reply_enqueue");
       const std::uint64_t done = proto::now_us();
-      obs::sites::net_request_served.add();
-      obs::sites::net_queue_delay_us.record(done - p.admit_us);
-      stats_.served.fetch_add(1, std::memory_order_relaxed);
-      if (base_flags != 0) {
-        obs::sites::net_degraded_replies.add();
-        stats_.degraded_replies.fetch_add(1, std::memory_order_relaxed);
-      }
-      send_reply(p.conn_id, p.req, st, value, base_flags, p.admit_us, done);
+      record_served(p, now, done, base_flags);
+      send_reply(p.conn_id, p.req, st, value, base_flags, p.admit_us, done,
+                 /*exec_end_us=*/done, /*exec_begin_us=*/now);
     }
+  }
+
+  /// Bookkeeping shared by every served request (data or introspection):
+  /// counters plus the queue and execute metric stamps. `exec_begin` is the
+  /// dequeue-time clock read and `exec_end` the post-execution one — both
+  /// reused by the caller for the reply, so the phase partition is exact.
+  /// The PhaseLatency histograms are NOT fed here: they record at flush
+  /// time (stamp_flushed), over the flushed-reply population only.
+  void record_served(const Pending& p, std::uint64_t exec_begin,
+                     std::uint64_t exec_end, std::uint16_t base_flags) {
+    obs::sites::net_request_served.add();
+    obs::sites::net_queue_delay_us.record(exec_end - p.admit_us);
+    obs::sites::net_phase_queue_us.record(exec_begin - p.admit_us);
+    obs::sites::net_phase_execute_us.record(exec_end - exec_begin);
+    stats_.served.fetch_add(1, std::memory_order_relaxed);
+    if (base_flags != 0) {
+      obs::sites::net_degraded_replies.add();
+      stats_.degraded_replies.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // --- introspection ops (DESIGN.md §4) -------------------------------------
+
+  /// kStats / kTraceCtl, executed in queue order like any data op (they
+  /// went through the same admission and deadline gates). kStats serves a
+  /// registry snapshot plus this shard's interval delta as the protocol's
+  /// one variable-length frame; kTraceCtl flips the flight recorder or
+  /// triggers a post-mortem-style dump on demand.
+  void execute_introspection(const Pending& p, proto::Op op,
+                             std::uint16_t base_flags,
+                             std::uint64_t exec_begin) {
+    testkit::chaos_point("net.request_execute");
+    obs::sites::net_introspect_ops.add();
+    if (op == proto::Op::kStats) {
+      std::ostringstream os;
+      {
+        obs::trace::Span exec(obs::trace::EventId::kNetExecuteBegin,
+                              obs::trace::EventId::kNetExecuteEnd, p.conn_id,
+                              p.req.request_id);
+        const obs::Snapshot snap = obs::registry().snapshot();
+        os << "{\"shard\":" << index_ << ",\"now_us\":" << exec_begin
+           << ",\"snapshot\":";
+        snap.write_json(os);
+        os << ",\"delta\":";
+        differ_.advance(snap, exec_begin).write_json(os);
+        os << "}";
+      }
+      testkit::chaos_point("net.reply_enqueue");
+      const std::uint64_t done = proto::now_us();
+      record_served(p, exec_begin, done, base_flags);
+      send_stats_reply(p, os.str(), base_flags, exec_begin, done);
+      return;
+    }
+    // kTraceCtl: request.value carries the action; the reply's value echoes
+    // the resulting recorder state (0/1), or whether a dump file landed.
+    proto::Status st = proto::Status::kOk;
+    std::uint64_t result = 0;
+    {
+      obs::trace::Span exec(obs::trace::EventId::kNetExecuteBegin,
+                            obs::trace::EventId::kNetExecuteEnd, p.conn_id,
+                            p.req.request_id);
+      switch (static_cast<proto::TraceCtl>(p.req.value)) {
+        case proto::TraceCtl::kDisable:
+          obs::trace::enable(false);
+          break;
+        case proto::TraceCtl::kEnable:
+          obs::trace::enable(true);
+          result = 1;
+          break;
+        case proto::TraceCtl::kDump:
+          result = obs::trace::dump_to_file("trace_ctl").empty() ? 0 : 1;
+          break;
+        default:
+          st = proto::Status::kBadRequest;
+      }
+    }
+    testkit::chaos_point("net.reply_enqueue");
+    const std::uint64_t done = proto::now_us();
+    record_served(p, exec_begin, done, base_flags);
+    send_reply(p.conn_id, p.req, st, result, base_flags, p.admit_us, done,
+               /*exec_end_us=*/done, exec_begin);
   }
 
   // --- write side: replies, flushing, backpressure --------------------------
 
+  /// `exec_end_us != 0` marks a *served* reply: a ReplyMark completes its
+  /// flush/total phase stamps when the kernel accepts its last byte. Shed
+  /// and deadline replies pass 0 — they were refused, not served, so they
+  /// advance the stream counters without entering the phase histograms.
   void send_reply(std::uint64_t conn_id, const proto::RequestFrame& req,
                   proto::Status st, std::uint64_t value, std::uint16_t flags,
-                  std::uint64_t admit_us, std::uint64_t now) {
+                  std::uint64_t admit_us, std::uint64_t now,
+                  std::uint64_t exec_end_us = 0,
+                  std::uint64_t exec_begin_us = 0) {
     auto it = conns_.find(conn_id);
     if (it == conns_.end()) return;
     Conn& c = it->second;
@@ -409,6 +557,43 @@ class Shard {
     rep.value = value;
     rep.queue_us = static_cast<std::uint32_t>(now - admit_us);
     proto::append_frame(c.wbuf, rep);
+    c.enqueued_bytes += proto::kReplyWire;
+    if (exec_end_us != 0) {
+      c.marks.push_back({c.enqueued_bytes, req.request_id, admit_us,
+                         exec_begin_us, exec_end_us});
+    }
+    finish_reply(conn_id, c);
+  }
+
+  /// The stats reply — the protocol's one variable-length frame. An
+  /// over-cap payload downgrades to a fixed kBadRequest reply rather than
+  /// emitting a frame the parser is contracted to reject.
+  void send_stats_reply(const Pending& p, const std::string& json,
+                        std::uint16_t flags, std::uint64_t exec_begin,
+                        std::uint64_t done) {
+    auto it = conns_.find(p.conn_id);
+    if (it == conns_.end()) return;
+    if (json.size() > proto::kMaxStatsPayload) {
+      send_reply(p.conn_id, p.req, proto::Status::kBadRequest, 0, flags,
+                 p.admit_us, done, /*exec_end_us=*/done, exec_begin);
+      return;
+    }
+    Conn& c = it->second;
+    proto::StatsReplyHeader h;
+    h.status = static_cast<std::uint8_t>(proto::Status::kOk);
+    h.flags = flags;
+    h.request_id = p.req.request_id;
+    proto::append_stats_frame(c.wbuf, h, json);
+    c.enqueued_bytes +=
+        proto::kLenPrefix + sizeof(proto::StatsReplyHeader) + json.size();
+    c.marks.push_back(
+        {c.enqueued_bytes, p.req.request_id, p.admit_us, exec_begin, done});
+    finish_reply(p.conn_id, c);
+  }
+
+  /// Common tail of every reply path: flush, then the write-buffer
+  /// accounting and backpressure kill. May erase the connection.
+  void finish_reply(std::uint64_t conn_id, Conn& c) {
     flush_conn(c);
     // flush_conn never erases, so `c` is still valid here.
     const auto pending = static_cast<std::uint64_t>(c.pending_bytes());
@@ -436,10 +621,12 @@ class Shard {
           write_some(c.fd.get(), c.wbuf.data() + c.woff, c.pending_bytes());
       if (w > 0) {
         c.woff += static_cast<std::size_t>(w);
+        c.flushed_bytes += static_cast<std::uint64_t>(w);
         continue;
       }
       break;  // -1: kernel full (arm EPOLLOUT); -2: EPOLLERR will fire
     }
+    stamp_flushed(c);
     if (c.pending_bytes() == 0) {
       c.wbuf.clear();
       c.woff = 0;
@@ -451,6 +638,31 @@ class Shard {
         c.woff = 0;
       }
       set_want_write(c, true);
+    }
+  }
+
+  /// Completes the phase decomposition for every served reply whose last
+  /// byte the kernel just accepted: flush = now - exec_end, total =
+  /// now - admit, so queue + execute + flush == total per request. One
+  /// clock read covers the whole batch — replies flushed together share a
+  /// stamp, which is also the truth (they left in one writev-style burst).
+  void stamp_flushed(Conn& c) {
+    if (c.marks.empty() || c.flushed_bytes < c.marks.front().end_offset) {
+      return;
+    }
+    const std::uint64_t now = proto::now_us();
+    while (!c.marks.empty() && c.flushed_bytes >= c.marks.front().end_offset) {
+      const ReplyMark& m = c.marks.front();
+      obs::trace::emit(obs::trace::EventId::kNetReqFlushed, c.id,
+                       m.request_id);
+      const std::uint64_t flush_us =
+          now >= m.exec_end_us ? now - m.exec_end_us : 0;
+      obs::sites::net_phase_flush_us.record(flush_us);
+      phase_.queue.record(m.exec_begin_us - m.admit_us);
+      phase_.execute.record(m.exec_end_us - m.exec_begin_us);
+      phase_.flush.record(flush_us);
+      phase_.total.record(now >= m.admit_us ? now - m.admit_us : 0);
+      c.marks.pop_front();
     }
   }
 
@@ -517,6 +729,8 @@ class Shard {
   bool shed_this_iter_ = false;
 
   ShardStats stats_;
+  PhaseLatency phase_;             // shard-thread-only; read after NET_DRAIN
+  obs::IntervalDiffer differ_;     // per-shard kStats pull state
   std::atomic<std::size_t> open_conns_{0};
   std::atomic<bool> overloaded_{false};
   std::atomic<bool> drained_{false};

@@ -79,6 +79,18 @@ enum class EventId : std::uint16_t {
   kNetDrain,             // shard entered drain (a0 = shard, a1 = open conns)
   kNetShutdown,          // shard loop exited (a0 = shard, a1 = served total)
 
+  // --- net: request-phase attribution (PR-9 block, appended after the
+  // PR-7 events — indices of existing events never move). One request's
+  // lifecycle, every stamp keyed (a0 = conn id, a1 = request id) so
+  // scripts/trace_summarize.py can join the stamps per request and report
+  // which phase a slow request burned its budget in. ----------------------
+  kNetReqParsed,       // frame pulled off the wire, pre-admission
+  kNetReqAdmitted,     // admission control accepted it into the queue
+  kNetReqDequeued,     // popped for execution (queue-wait phase ends)
+  kNetExecuteBegin,    // span: map execution (or introspection-op build)
+  kNetExecuteEnd,
+  kNetReqFlushed,      // last reply byte accepted by the kernel socket
+
   kCount
 };
 
@@ -132,6 +144,12 @@ inline constexpr EventInfo kEventInfo[static_cast<std::size_t>(
     {"net.backpressure_kill", "net", 'i'},
     {"net.drain", "net", 'i'},
     {"net.shutdown", "net", 'i'},
+    {"net.req.parsed", "net", 'i'},
+    {"net.req.admitted", "net", 'i'},
+    {"net.req.dequeued", "net", 'i'},
+    {"net.req.execute", "net", 'B'},
+    {"net.req.execute", "net", 'E'},
+    {"net.req.flushed", "net", 'i'},
 };
 
 constexpr const EventInfo& event_info(EventId id) noexcept {
@@ -145,5 +163,8 @@ static_assert(event_info(EventId::kChmBinLockEnd).phase == 'E');
 static_assert(event_info(EventId::kNetRequestBegin).phase == 'B');
 static_assert(event_info(EventId::kNetRequestEnd).phase == 'E');
 static_assert(event_info(EventId::kNetShutdown).phase == 'i');
+static_assert(event_info(EventId::kNetExecuteBegin).phase == 'B');
+static_assert(event_info(EventId::kNetExecuteEnd).phase == 'E');
+static_assert(event_info(EventId::kNetReqFlushed).phase == 'i');
 
 }  // namespace cachetrie::obs::trace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/interval.hpp"
+
 #include <atomic>
 #include <sstream>
 #include <thread>
@@ -299,6 +301,148 @@ TEST_F(MetricsTest, JsonEmitterProducesBalancedNamedOutput) {
   EXPECT_NE(out.find("\"sum\":303"), std::string::npos);
   // 300 lands in [256,511]: sparse bucket pair [256,1].
   EXPECT_NE(out.find("[256,1]"), std::string::npos);
+}
+
+// --- interval differ (obs/interval.hpp) ------------------------------------
+
+// Helpers: the differ's advance() takes any Snapshot, so these tests feed
+// the live registry and pull through obs::registry().snapshot() — the same
+// path the serving layer uses.
+
+TEST_F(MetricsTest, IntervalDifferFirstPullHasZeroInterval) {
+  obs::Counter c{"test.iv.first"};
+  c.add(7);
+  obs::IntervalDiffer differ;
+  const auto d = differ.advance(obs::registry().snapshot(), 1'000'000);
+  // First pull: no previous timestamp to rate against, but the deltas are
+  // "everything so far" — the counter shows up with per_s pinned to 0.
+  EXPECT_EQ(d.interval_s, 0.0);
+  ASSERT_EQ(d.counters.size(), 1u);
+  EXPECT_EQ(d.counters[0].name, "test.iv.first");
+  EXPECT_EQ(d.counters[0].delta, 7u);
+  EXPECT_EQ(d.counters[0].per_s, 0.0);
+}
+
+TEST_F(MetricsTest, IntervalDifferRatesAndOmitsIdleCounters) {
+  obs::Counter busy{"test.iv.busy"};
+  obs::Counter idle{"test.iv.idle"};
+  busy.add(10);
+  idle.add(5);
+  obs::IntervalDiffer differ;
+  (void)differ.advance(obs::registry().snapshot(), 1'000'000);
+
+  busy.add(30);  // idle stays put
+  const auto d = differ.advance(obs::registry().snapshot(), 3'000'000);
+  EXPECT_DOUBLE_EQ(d.interval_s, 2.0);
+  ASSERT_EQ(d.counters.size(), 1u) << "idle counter must be omitted";
+  EXPECT_EQ(d.counters[0].name, "test.iv.busy");
+  EXPECT_EQ(d.counters[0].delta, 30u);
+  EXPECT_DOUBLE_EQ(d.counters[0].per_s, 15.0);
+}
+
+TEST_F(MetricsTest, IntervalDifferGaugesReportLevelAndMovement) {
+  // The live registry also carries the inventory's gauges, so pick ours
+  // out by name — its presence alongside them is part of what's tested.
+  const auto find = [](const obs::SnapshotDelta& d)
+      -> const obs::SnapshotDelta::GaugeValue* {
+    for (const auto& g : d.gauges) {
+      if (g.name == "test.iv.gauge") return &g;
+    }
+    return nullptr;
+  };
+
+  obs::Gauge g{"test.iv.gauge"};
+  g.set(100);
+  obs::IntervalDiffer differ;
+  auto d = differ.advance(obs::registry().snapshot(), 1'000'000);
+  const auto* gv = find(d);
+  ASSERT_NE(gv, nullptr);
+  EXPECT_EQ(gv->value, 100);
+  EXPECT_EQ(gv->delta, 100);  // vs implicit zero before first pull
+
+  g.add(-40);
+  d = differ.advance(obs::registry().snapshot(), 2'000'000);
+  gv = find(d);
+  // Gauges are levels, not events: reported every pull, even unchanged.
+  ASSERT_NE(gv, nullptr);
+  EXPECT_EQ(gv->value, 60);
+  EXPECT_EQ(gv->delta, -40);
+
+  d = differ.advance(obs::registry().snapshot(), 3'000'000);
+  gv = find(d);
+  ASSERT_NE(gv, nullptr);
+  EXPECT_EQ(gv->value, 60);
+  EXPECT_EQ(gv->delta, 0);
+}
+
+TEST_F(MetricsTest, IntervalDifferHistogramQuantilesForgetOldLoad) {
+  obs::Histogram h{"test.iv.hist"};
+  // First era: a thousand fast samples dominate the cumulative quantile.
+  for (int i = 0; i < 1000; ++i) h.record(4);
+  obs::IntervalDiffer differ;
+  (void)differ.advance(obs::registry().snapshot(), 1'000'000);
+
+  // Second era: only slow samples. The *interval* p50 must see just these.
+  for (int i = 0; i < 10; ++i) h.record(5000);
+  const auto d = differ.advance(obs::registry().snapshot(), 2'000'000);
+  ASSERT_EQ(d.histograms.size(), 1u);
+  EXPECT_EQ(d.histograms[0].count_delta, 10u);
+  EXPECT_GT(d.histograms[0].interval_p50, 1000.0)
+      << "interval quantile still remembers the old fast samples";
+  // The cumulative p50 barely moved (10 of 1010 samples), and the drift
+  // field reports that movement, not the interval's own level.
+  EXPECT_LT(d.histograms[0].cum_p50_drift, 100.0);
+  EXPECT_GE(d.histograms[0].cum_p50_drift, 0.0);
+}
+
+TEST_F(MetricsTest, IntervalDifferOmitsQuietHistograms) {
+  obs::Histogram h{"test.iv.quiet"};
+  h.record(10);
+  obs::IntervalDiffer differ;
+  (void)differ.advance(obs::registry().snapshot(), 1'000'000);
+  const auto d = differ.advance(obs::registry().snapshot(), 2'000'000);
+  EXPECT_TRUE(d.histograms.empty());
+}
+
+TEST_F(MetricsTest, IntervalDifferSurvivesRegistryReset) {
+  obs::Counter c{"test.iv.rewind"};
+  c.add(1000);
+  obs::IntervalDiffer differ;
+  (void)differ.advance(obs::registry().snapshot(), 1'000'000);
+
+  // A reset between pulls rewinds every cumulative value. The differ must
+  // report "everything since the reset", never an underflowed delta.
+  obs::registry().reset();
+  c.add(3);
+  const auto d = differ.advance(obs::registry().snapshot(), 2'000'000);
+  ASSERT_EQ(d.counters.size(), 1u);
+  EXPECT_EQ(d.counters[0].delta, 3u);
+}
+
+TEST_F(MetricsTest, IntervalDeltaJsonIsBalancedAndEscaped) {
+  obs::Counter c{"test.iv.json\"quote"};
+  obs::Gauge g{"test.iv.json.gauge"};
+  obs::Histogram h{"test.iv.json.hist"};
+  c.add(2);
+  g.set(-5);
+  h.record(300);
+  obs::IntervalDiffer differ;
+  const auto d = differ.advance(obs::registry().snapshot(), 1'000'000);
+
+  std::ostringstream os;
+  d.write_json(os);
+  const std::string out = os.str();
+  std::int64_t braces = 0, brackets = 0;
+  for (char ch : out) {
+    braces += (ch == '{') - (ch == '}');
+    brackets += (ch == '[') - (ch == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(out.find("\"interval_s\":"), std::string::npos);
+  EXPECT_NE(out.find("test.iv.json\\\"quote"), std::string::npos);
+  EXPECT_NE(out.find("\"value\":-5"), std::string::npos);
+  EXPECT_NE(out.find("\"count_delta\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -8,7 +8,10 @@
 // shard, and client under ASan.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "net/proto.hpp"
 #include "net/reactor.hpp"
 #include "net/serve_map.hpp"
+#include "net/socket.hpp"
 
 namespace {
 
@@ -126,6 +130,187 @@ TEST(NetProto, BadMagicAndBadLengthAreProtocolErrors) {
             proto::ParseResult::kProtocolError);
 }
 
+// ---- variable-length stats replies (the "CDP2" frame) -------------------
+
+// Convenience: run the dual-kind stream parser over a buffer.
+struct StreamParse {
+  proto::ParseResult result = proto::ParseResult::kNeedMore;
+  proto::ReplyFrame rep;
+  proto::StatsReplyHeader stats;
+  const unsigned char* payload = nullptr;
+  bool is_stats = false;
+  std::size_t consumed = 0;
+};
+
+StreamParse parse_stream(const unsigned char* data, std::size_t size) {
+  StreamParse p;
+  p.result = proto::parse_reply_stream(data, size, &p.rep, &p.stats,
+                                       &p.payload, &p.is_stats, &p.consumed);
+  return p;
+}
+
+TEST(NetProto, StatsReplyRoundTrip) {
+  proto::StatsReplyHeader hdr;
+  hdr.status = static_cast<std::uint8_t>(proto::Status::kOk);
+  hdr.flags = proto::kFlagDegraded;
+  hdr.request_id = 91;
+  const std::string json = R"({"shard":0,"counters":{"a":1}})";
+
+  std::vector<unsigned char> wire;
+  proto::append_stats_frame(wire, hdr, json);
+  ASSERT_EQ(wire.size(), proto::kLenPrefix + sizeof(proto::StatsReplyHeader) +
+                             json.size());
+
+  const auto p = parse_stream(wire.data(), wire.size());
+  ASSERT_EQ(p.result, proto::ParseResult::kFrame);
+  ASSERT_TRUE(p.is_stats);
+  EXPECT_EQ(p.consumed, wire.size());
+  EXPECT_EQ(static_cast<proto::Status>(p.stats.status), proto::Status::kOk);
+  EXPECT_EQ(p.stats.flags, proto::kFlagDegraded);
+  EXPECT_EQ(p.stats.request_id, 91u);
+  ASSERT_EQ(p.stats.payload_len, json.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(p.payload),
+                        p.stats.payload_len),
+            json);
+}
+
+TEST(NetProto, ReplyStreamMixesFixedAndStatsFrames) {
+  // Fixed reply, stats reply, fixed reply — back to back on one stream, the
+  // way a pipelined connection interleaves them. Dispatch is by magic.
+  proto::ReplyFrame a;
+  a.request_id = 1;
+  proto::StatsReplyHeader s;
+  s.request_id = 2;
+  const std::string json = "{}";
+  proto::ReplyFrame b;
+  b.request_id = 3;
+
+  std::vector<unsigned char> wire;
+  proto::append_frame(wire, a);
+  proto::append_stats_frame(wire, s, json);
+  proto::append_frame(wire, b);
+
+  std::size_t off = 0;
+  auto p = parse_stream(wire.data() + off, wire.size() - off);
+  ASSERT_EQ(p.result, proto::ParseResult::kFrame);
+  EXPECT_FALSE(p.is_stats);
+  EXPECT_EQ(p.rep.request_id, 1u);
+  off += p.consumed;
+
+  p = parse_stream(wire.data() + off, wire.size() - off);
+  ASSERT_EQ(p.result, proto::ParseResult::kFrame);
+  ASSERT_TRUE(p.is_stats);
+  EXPECT_EQ(p.stats.request_id, 2u);
+  EXPECT_EQ(p.stats.payload_len, json.size());
+  off += p.consumed;
+
+  p = parse_stream(wire.data() + off, wire.size() - off);
+  ASSERT_EQ(p.result, proto::ParseResult::kFrame);
+  EXPECT_FALSE(p.is_stats);
+  EXPECT_EQ(p.rep.request_id, 3u);
+  off += p.consumed;
+  EXPECT_EQ(off, wire.size());
+}
+
+TEST(NetProto, StatsReplyIncrementalNeedsMore) {
+  proto::StatsReplyHeader hdr;
+  hdr.request_id = 5;
+  const std::string json = R"({"gauges":{"g":42},"histograms":{}})";
+  std::vector<unsigned char> wire;
+  proto::append_stats_frame(wire, hdr, json);
+
+  // Every strict prefix — mid-prefix, mid-header, mid-payload — parses as
+  // kNeedMore, never as an error and never as a short frame.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const auto p = parse_stream(wire.data(), n);
+    EXPECT_EQ(p.result, proto::ParseResult::kNeedMore) << "prefix " << n;
+  }
+  const auto p = parse_stream(wire.data(), wire.size());
+  EXPECT_EQ(p.result, proto::ParseResult::kFrame);
+}
+
+TEST(NetProto, TruncatedStatsFrameIsRejected) {
+  proto::StatsReplyHeader hdr;
+  const std::string json = "{\"x\":1}";
+  std::vector<unsigned char> wire;
+  proto::append_stats_frame(wire, hdr, json);
+
+  // payload_len disagreeing with the frame length (a truncated or padded
+  // frame) must be rejected, not mis-split. payload_len sits at header
+  // offset 16 (after magic, status, op, flags, request_id).
+  auto corrupted = wire;
+  corrupted[proto::kLenPrefix + 16] += 1;
+  auto p = parse_stream(corrupted.data(), corrupted.size());
+  EXPECT_EQ(p.result, proto::ParseResult::kProtocolError);
+
+  // An unknown magic on the reply stream fails as soon as the first four
+  // body bytes arrive.
+  auto garbage = wire;
+  garbage[proto::kLenPrefix] ^= 0xff;
+  p = parse_stream(garbage.data(), garbage.size());
+  EXPECT_EQ(p.result, proto::ParseResult::kProtocolError);
+
+  // A fixed-reply magic announcing a non-fixed length is a protocol error
+  // too (frames are told apart by magic, lengths are per-kind contracts).
+  std::vector<unsigned char> bad;
+  proto::append_frame(bad, proto::ReplyFrame{});
+  bad[0] += 1;  // length prefix now 33 with kReplyMagic body
+  bad.push_back(0);
+  p = parse_stream(bad.data(), bad.size());
+  EXPECT_EQ(p.result, proto::ParseResult::kProtocolError);
+}
+
+TEST(NetProto, OversizedStatsPayloadRejectedOnPrefixAlone) {
+  // The cap must fire before the peer can make us buffer the body it
+  // announces: four prefix bytes are enough to reject.
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(proto::kMaxReplyBody) + 1;
+  unsigned char prefix[proto::kLenPrefix];
+  std::memcpy(prefix, &len, sizeof(len));
+  const auto p = parse_stream(prefix, sizeof(prefix));
+  EXPECT_EQ(p.result, proto::ParseResult::kProtocolError);
+
+  // And a prefix below the minimum body is equally dead on arrival.
+  const std::uint32_t tiny = static_cast<std::uint32_t>(proto::kMinBody) - 1;
+  std::memcpy(prefix, &tiny, sizeof(tiny));
+  EXPECT_EQ(parse_stream(prefix, sizeof(prefix)).result,
+            proto::ParseResult::kProtocolError);
+}
+
+TEST(NetClient, SeversConnectionOnCorruptReplyStream) {
+  // A bare listener stands in for a malicious/broken server: it accepts the
+  // client and answers with an oversized length prefix. The client must
+  // classify that as a protocol error, sever the connection, and fail
+  // waiters with kClosed — not buffer 1 MiB+ or spin forever.
+  std::uint16_t port = 0;
+  net::Fd lst = net::listen_loopback(0, &port);
+  ASSERT_TRUE(lst.valid());
+
+  net::ClientConfig ccfg;
+  ccfg.max_retries = 0;
+  net::Client client{port, ccfg};
+  ASSERT_TRUE(client.ok());
+
+  int sfd = -1;
+  for (int i = 0; i < 2000 && sfd < 0; ++i) {
+    sfd = ::accept(lst.get(), nullptr, nullptr);
+    if (sfd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(sfd, 0);
+
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(proto::kMaxReplyBody) + 1;
+  ASSERT_TRUE(net::write_all(sfd, &len, sizeof(len)));
+
+  for (int i = 0; i < 5000 && !client.closed(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(client.closed());
+  // The severed socket refuses further traffic outright.
+  EXPECT_EQ(client.get(1).status, proto::Status::kSendFailed);
+  ::close(sfd);
+}
+
 TEST(NetClient, BackoffCurveIsCappedExponentialWithJitter) {
   // Zero jitter word: exactly half the exponential step.
   EXPECT_EQ(net::retry_backoff_us(0, 200, 50'000, 0), 100u);
@@ -212,6 +397,18 @@ TEST(NetServe, EndToEndBasics) {
     ASSERT_TRUE(client.send(static_cast<proto::Op>(0x7e), 0, 0, &id, 0));
     EXPECT_EQ(client.wait(id).status, proto::Status::kBadRequest);
     EXPECT_TRUE(client.ping(8).ok());
+
+    // Live introspection over the same connection: kStats hands back the
+    // shard's JSON snapshot+delta and the stream keeps its discipline —
+    // data ops after the variable-length frame still work.
+    const auto s = client.stats();
+    EXPECT_TRUE(s.ok());
+    ASSERT_FALSE(s.json.empty());
+    EXPECT_EQ(s.json.front(), '{');
+    EXPECT_EQ(s.json.back(), '}');
+    EXPECT_NE(s.json.find("\"snapshot\""), std::string::npos);
+    EXPECT_NE(s.json.find("\"delta\""), std::string::npos);
+    EXPECT_TRUE(client.ping(9).ok());
 
     // The map the server serves is the caller's map.
     EXPECT_TRUE(client.put(2, 222).ok());
